@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/simcluster"
+	"repro/internal/workloads"
+)
+
+// Benchmarks: one per paper table/figure. Each regenerates the experiment
+// at reduced (Quick) scale; run cmd/benchrunner for the full sweeps.
+
+var quick = experiments.Options{Quick: true}
+
+func benchReport(b *testing.B, run func(experiments.Options) *experiments.Report) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := run(quick)
+		if len(rep.Tables) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkFig2aBreakdown regenerates Fig. 2(a): comm/comp breakdown under
+// the control-flow paradigm.
+func BenchmarkFig2aBreakdown(b *testing.B) { benchReport(b, experiments.Fig2a) }
+
+// BenchmarkFig2bTimeline regenerates Fig. 2(b): CPU/network usage timeline.
+func BenchmarkFig2bTimeline(b *testing.B) { benchReport(b, experiments.Fig2b) }
+
+// BenchmarkFig2cTrigger regenerates Fig. 2(c): triggering overhead.
+func BenchmarkFig2cTrigger(b *testing.B) { benchReport(b, experiments.Fig2c) }
+
+// BenchmarkFig10Async regenerates Fig. 10: async latency + memory vs load.
+func BenchmarkFig10Async(b *testing.B) { benchReport(b, experiments.Fig10) }
+
+// BenchmarkFig11Throughput regenerates Fig. 11: closed-loop throughput.
+func BenchmarkFig11Throughput(b *testing.B) { benchReport(b, experiments.Fig11) }
+
+// BenchmarkFig12Pressure regenerates Fig. 12: pressure-aware ablation.
+func BenchmarkFig12Pressure(b *testing.B) { benchReport(b, experiments.Fig12) }
+
+// BenchmarkFig13Timeline regenerates Fig. 13: wc triggering timeline.
+func BenchmarkFig13Timeline(b *testing.B) { benchReport(b, experiments.Fig13) }
+
+// BenchmarkFig14Cache regenerates Fig. 14: host cache MB·s per request.
+func BenchmarkFig14Cache(b *testing.B) { benchReport(b, experiments.Fig14) }
+
+// BenchmarkFig15Burst regenerates Fig. 15: bursty load CDF and sigma.
+func BenchmarkFig15Burst(b *testing.B) { benchReport(b, experiments.Fig15) }
+
+// BenchmarkFig16Fanout regenerates Fig. 16: fan-out and input-size sweeps.
+func BenchmarkFig16Fanout(b *testing.B) { benchReport(b, experiments.Fig16) }
+
+// BenchmarkFig17Scaleup regenerates Fig. 17: container scale-up.
+func BenchmarkFig17Scaleup(b *testing.B) { benchReport(b, experiments.Fig17) }
+
+// BenchmarkFig18Colocate regenerates Fig. 18: co-located workflows.
+func BenchmarkFig18Colocate(b *testing.B) { benchReport(b, experiments.Fig18) }
+
+// BenchmarkFig19Stateful regenerates Fig. 19: stateful state machine vs
+// DataFlower pipes.
+func BenchmarkFig19Stateful(b *testing.B) { benchReport(b, experiments.Fig19) }
+
+// BenchmarkAblationSinkPolicy measures the Wait-Match Memory policies: the
+// cache MB·s per request with proactive release + TTL versus the
+// end-of-request-only policy (DESIGN.md §5 ablation).
+func BenchmarkAblationSinkPolicy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		df := simcluster.New(simcluster.Config{
+			Kind: simcluster.DataFlower, Profile: workloads.WordCount(4, 0), Seed: 7,
+		})
+		resDF := df.RunOpenLoop(60, 20)
+		ff := simcluster.New(simcluster.Config{
+			Kind: simcluster.FaaSFlow, Profile: workloads.WordCount(4, 0), Seed: 7,
+		})
+		resFF := ff.RunOpenLoop(60, 20)
+		if resDF.CacheMBsPerReq > resFF.CacheMBsPerReq {
+			b.Fatalf("proactive release regressed: %.3f > %.3f",
+				resDF.CacheMBsPerReq, resFF.CacheMBsPerReq)
+		}
+	}
+}
+
+// BenchmarkAblationSmallData measures the <16 KB socket fast path by
+// running a small-payload workflow where every edge qualifies.
+func BenchmarkAblationSmallData(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := simcluster.New(simcluster.Config{
+			Kind: simcluster.DataFlower, Profile: workloads.WordCount(4, 32<<10), Seed: 7,
+		})
+		res := s.RunOpenLoop(120, 30)
+		if res.Failed > 0 {
+			b.Fatal("small-data run failed")
+		}
+	}
+}
+
+// BenchmarkSoloLatencyAllSystems reports per-system single-request latency
+// for the four benchmarks (the headline comparison in compact form).
+func BenchmarkSoloLatencyAllSystems(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, prof := range workloads.All() {
+			for _, kind := range []simcluster.Kind{
+				simcluster.DataFlower, simcluster.FaaSFlow, simcluster.SONIC,
+			} {
+				s := simcluster.New(simcluster.Config{Kind: kind, Profile: prof, Seed: 7})
+				if res := s.RunOne(); res.Completed != 1 {
+					b.Fatalf("%s/%v failed", prof.Name, kind)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Command benchrunner regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchrunner [-exp fig10] [-quick] [-seed 42]
+//
+// With no -exp flag it runs every experiment in figure order and prints the
+// reports; the output of a full run is recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig2a, fig2b, fig2c, fig10..fig19); empty = all")
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	seed := flag.Int64("seed", 0, "simulation seed (0 = default)")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	if *exp != "" {
+		run, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(run(opts).String())
+	} else {
+		for _, rep := range experiments.All(opts) {
+			fmt.Print(rep.String())
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

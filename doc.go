@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "DataFlower:
+// Exploiting the Data-flow Paradigm for Serverless Workflow Orchestration"
+// (ASPLOS 2024).
+//
+// The library lives under internal/: the runtime-plane engine
+// (internal/core) runs real workflows with the FLU/DLU abstraction inside
+// one process, and the simulation plane (internal/simcluster +
+// internal/experiments) regenerates every figure of the paper's evaluation.
+// See README.md for a tour and DESIGN.md for the system inventory.
+package repro

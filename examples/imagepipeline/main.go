@@ -1,0 +1,54 @@
+// Image pipeline: the img benchmark on the real runtime — metadata
+// extraction, thumbnailing, and a detection stand-in run as a diamond of
+// functions whose outputs meet in the store function (multi-input
+// wait-match).
+//
+//	go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	prof := workloads.ImageProcessing(0)
+
+	cl := cluster.NewCluster(nil)
+	for i := 1; i <= 3; i++ {
+		if err := cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i), cluster.Options{
+			ColdStart: time.Millisecond,
+		})); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys, err := core.NewSystem(core.Config{
+		Workflow:    prof.Workflow,
+		Cluster:     cl,
+		DefaultSpec: cluster.Spec{MemoryMB: 2048},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	if err := workloads.RegisterImagePipeline(sys); err != nil {
+		log.Fatal(err)
+	}
+
+	im := workloads.GenImage(512, 384, 42)
+	inv, err := sys.Invoke(map[string][]byte{"extract.image": im.Marshal()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	out, _ := inv.OutputBytes("out")
+	fmt.Printf("pipeline summary: %s\n", out)
+	fmt.Printf("latency: %v\n", inv.Latency().Round(time.Microsecond))
+}

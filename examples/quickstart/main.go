@@ -1,0 +1,91 @@
+// Quickstart: define a two-function workflow in the DSL, deploy it on an
+// in-process cluster, and run one request through the DataFlower engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workflow"
+)
+
+const dsl = `
+workflow greet
+function shout
+  input name from $USER
+  output loud to polish.text
+function polish
+  input text
+  output out to $USER
+`
+
+func main() {
+	// 1. Parse and validate the workflow definition.
+	wf, err := workflow.ParseDSLString(dsl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a two-node cluster. Containers get memory-proportional CPU
+	// and bandwidth (0.1 core / 40 Mbit/s per 128 MB).
+	cl := cluster.NewCluster(nil)
+	for _, name := range []string{"w1", "w2"} {
+		if err := cl.AddNode(cluster.NewNode(name, cluster.Options{
+			ColdStart: time.Millisecond,
+		})); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Deploy: the load balancer places functions on nodes and publishes
+	// the routing table that the per-node engines consult.
+	sys, err := core.NewSystem(core.Config{
+		Workflow:    wf,
+		Cluster:     cl,
+		DefaultSpec: cluster.Spec{MemoryMB: 512},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+
+	// 4. Register the function bodies. ctx.Put hands data to the DLU, which
+	// ships it asynchronously while the FLU keeps running.
+	must(sys.Register("shout", func(ctx *core.Context) error {
+		name, err := ctx.Input("name")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("loud", []byte(strings.ToUpper(string(name))+"!!!"))
+	}))
+	must(sys.Register("polish", func(ctx *core.Context) error {
+		text, err := ctx.Input("text")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("out", []byte("Hello, "+string(text)))
+	}))
+
+	// 5. Invoke and wait.
+	inv, err := sys.Invoke(map[string][]byte{"shout.name": []byte("dataflower")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	out, _ := inv.OutputBytes("out")
+	fmt.Printf("%s (in %v)\n", out, inv.Latency().Round(time.Microsecond))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallNow(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	b := w.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestWallSince(t *testing.T) {
+	w := NewWall()
+	start := w.Now()
+	if d := w.Since(start); d < 0 {
+		t.Fatalf("negative Since: %v", d)
+	}
+}
+
+func TestWallAfter(t *testing.T) {
+	w := NewWall()
+	select {
+	case <-w.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After(1ms) did not fire within 1s")
+	}
+}
+
+func TestManualNowAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", m.Now(), start)
+	}
+	m.Advance(5 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("Now = %v, want %v", got, start.Add(5*time.Second))
+	}
+}
+
+func TestManualAfterFiresAtDeadline(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case tm := <-ch:
+		if !tm.Equal(time.Unix(10, 0)) {
+			t.Fatalf("fired at %v, want %v", tm, time.Unix(10, 0))
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestManualAfterNonPositive(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-m.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) should fire immediately")
+	}
+}
+
+func TestManualSleepBlocksUntilAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(3 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for i := 0; i < 1000 && m.Pending() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Pending() != 1 {
+		t.Fatal("sleeper never registered")
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	m.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestManualSleepZeroReturnsImmediately(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestManualManyWaitersFireInOneAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	const n = 50
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(i+1) * time.Second
+		go func() {
+			defer wg.Done()
+			m.Sleep(d)
+		}()
+	}
+	for i := 0; i < 5000 && m.Pending() < n; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Pending() != n {
+		t.Fatalf("registered %d waiters, want %d", m.Pending(), n)
+	}
+	m.Advance(time.Duration(n) * time.Second)
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("not all sleepers woke after Advance")
+	}
+}
+
+func TestManualSinceUsesVirtualTime(t *testing.T) {
+	m := NewManual(time.Unix(100, 0))
+	start := m.Now()
+	m.Advance(42 * time.Second)
+	if got := m.Since(start); got != 42*time.Second {
+		t.Fatalf("Since = %v, want 42s", got)
+	}
+}
+
+func TestManualPartialAdvanceKeepsLaterWaiters(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	early := m.After(time.Second)
+	late := m.After(10 * time.Second)
+	m.Advance(time.Second)
+	select {
+	case <-early:
+	default:
+		t.Fatal("early waiter did not fire")
+	}
+	select {
+	case <-late:
+		t.Fatal("late waiter fired early")
+	default:
+	}
+	if m.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", m.Pending())
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-late:
+	default:
+		t.Fatal("late waiter did not fire")
+	}
+}

@@ -1,0 +1,432 @@
+// Package cluster provides the runtime plane's cluster substrate: worker
+// nodes hosting function containers with memory-proportional CPU and
+// network resources (the paper allocates 0.1 core and 40 Mbps per 128 MB of
+// container memory, enforced with cgroup and TC), container pools with
+// keep-alive recycling, and the load balancer that maps functions to nodes
+// and publishes the routing table consumed by the per-node engines.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/pipe"
+	"repro/internal/wmm"
+)
+
+// Spec is a container resource specification. Resources scale linearly with
+// memory, following the paper's §9.1 configuration.
+type Spec struct {
+	MemoryMB int
+}
+
+// BaseMemoryMB is the reference container size.
+const BaseMemoryMB = 128
+
+// BaseCPUShare is the CPU share of a 128 MB container (fraction of a core).
+const BaseCPUShare = 0.1
+
+// BaseBandwidthBps is the network bandwidth of a 128 MB container in
+// bytes/second (40 Mbit/s).
+const BaseBandwidthBps = 40e6 / 8
+
+// CPUShare returns the container's CPU allocation in cores.
+func (s Spec) CPUShare() float64 {
+	return float64(s.MemoryMB) / BaseMemoryMB * BaseCPUShare
+}
+
+// BandwidthBps returns the container's network bandwidth in bytes/second.
+func (s Spec) BandwidthBps() float64 {
+	return float64(s.MemoryMB) / BaseMemoryMB * BaseBandwidthBps
+}
+
+// MemoryBytes returns the container memory in bytes.
+func (s Spec) MemoryBytes() int64 { return int64(s.MemoryMB) << 20 }
+
+// State is a container lifecycle state.
+type State int
+
+// Container states.
+const (
+	Idle State = iota
+	Busy
+	Recycled
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Busy:
+		return "busy"
+	default:
+		return "recycled"
+	}
+}
+
+// Container hosts one function's FLU threads and DLU daemon.
+type Container struct {
+	ID   string
+	Fn   string
+	Spec Spec
+	Node *Node
+
+	// Limiter is the container's TC bandwidth class; DLU transfers pass
+	// through it.
+	Limiter *pipe.Limiter
+
+	mu          sync.Mutex
+	state       State
+	idleSince   time.Time
+	dluPending  int64 // bytes the DLU still has to pump (consistency rule)
+	invocations int64
+}
+
+// State returns the container state.
+func (c *Container) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Invocations returns how many FLU invocations the container has served.
+func (c *Container) Invocations() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invocations
+}
+
+// AddDLUPending adjusts the bytes the DLU daemon still has to pump. A
+// container with pending DLU data must not be recycled (§6.2 data
+// consistency).
+func (c *Container) AddDLUPending(delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dluPending += delta
+	if c.dluPending < 0 {
+		c.dluPending = 0
+	}
+}
+
+// DLUPending returns the outstanding DLU bytes.
+func (c *Container) DLUPending() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dluPending
+}
+
+// Options configures a Node.
+type Options struct {
+	// ColdStart is the container cold-start delay.
+	ColdStart time.Duration
+	// KeepAlive is how long an idle container survives before recycling
+	// (the paper uses a fixed 15 min; experiments shorten it).
+	KeepAlive time.Duration
+	// NICBps caps the node NIC in bytes/second; <= 0 unlimited.
+	NICBps float64
+	// SinkTTL is the Wait-Match Memory passive-expire TTL.
+	SinkTTL time.Duration
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+}
+
+// Node is one worker node.
+type Node struct {
+	Name string
+	clk  clock.Clock
+	opts Options
+
+	// NIC is the node's aggregate network limiter.
+	NIC *pipe.Limiter
+	// Sink is the node's Wait-Match Memory data sink.
+	Sink *wmm.Sink
+
+	mu         sync.Mutex
+	containers map[string][]*Container // fn -> containers
+	nextID     int64
+	memInUse   int64
+	memInt     *metrics.Integral
+	coldStarts int64
+	started    time.Time
+}
+
+// NewNode returns an empty node.
+func NewNode(name string, opts Options) *Node {
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewWall()
+	}
+	var nic *pipe.Limiter
+	if opts.NICBps > 0 {
+		nic = pipe.NewLimiter(clk, opts.NICBps)
+	}
+	return &Node{
+		Name:       name,
+		clk:        clk,
+		opts:       opts,
+		NIC:        nic,
+		Sink:       wmm.NewSink(wmm.Options{TTL: opts.SinkTTL}),
+		containers: make(map[string][]*Container),
+		memInt:     metrics.NewIntegral(),
+		started:    clk.Now(),
+	}
+}
+
+// Clock returns the node's clock.
+func (n *Node) Clock() clock.Clock { return n.clk }
+
+// Elapsed returns the time since the node started (used as the sink's
+// virtual timestamp).
+func (n *Node) Elapsed() time.Duration { return n.clk.Since(n.started) }
+
+// AcquireIdle returns an idle container for fn, marking it busy. ok is
+// false when none is idle.
+func (n *Node) AcquireIdle(fn string) (*Container, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.containers[fn] {
+		c.mu.Lock()
+		if c.state == Idle {
+			c.state = Busy
+			c.invocations++
+			c.mu.Unlock()
+			return c, true
+		}
+		c.mu.Unlock()
+	}
+	return nil, false
+}
+
+// StartContainer cold-starts a new container for fn with the given spec and
+// returns it in the Busy state. The calling goroutine sleeps for the
+// cold-start delay.
+func (n *Node) StartContainer(fn string, spec Spec) *Container {
+	if n.opts.ColdStart > 0 {
+		n.clk.Sleep(n.opts.ColdStart)
+	}
+	n.mu.Lock()
+	n.nextID++
+	c := &Container{
+		ID:      fmt.Sprintf("%s/%s-%d", n.Name, fn, n.nextID),
+		Fn:      fn,
+		Spec:    spec,
+		Node:    n,
+		Limiter: pipe.NewLimiter(n.clk, spec.BandwidthBps()),
+		state:   Busy,
+	}
+	c.invocations = 1
+	n.containers[fn] = append(n.containers[fn], c)
+	n.coldStarts++
+	n.adjustMemLocked(spec.MemoryBytes())
+	n.mu.Unlock()
+	return c
+}
+
+// Release returns a busy container to the idle pool.
+func (n *Node) Release(c *Container) {
+	c.mu.Lock()
+	if c.state == Busy {
+		c.state = Idle
+		c.idleSince = n.clk.Now()
+	}
+	c.mu.Unlock()
+}
+
+// ReapIdle recycles idle containers whose keep-alive expired, skipping any
+// with pending DLU data (data-consistency rule). It returns the number
+// recycled.
+func (n *Node) ReapIdle() int {
+	if n.opts.KeepAlive <= 0 {
+		return 0
+	}
+	now := n.clk.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	reaped := 0
+	for fn, list := range n.containers {
+		var keep []*Container
+		for _, c := range list {
+			c.mu.Lock()
+			expired := c.state == Idle &&
+				now.Sub(c.idleSince) >= n.opts.KeepAlive &&
+				c.dluPending == 0
+			if expired {
+				c.state = Recycled
+				reaped++
+				n.adjustMemLocked(-c.Spec.MemoryBytes())
+			} else {
+				keep = append(keep, c)
+			}
+			c.mu.Unlock()
+		}
+		n.containers[fn] = keep
+	}
+	return reaped
+}
+
+// Containers returns the number of live containers for fn (all states
+// except recycled), or all functions when fn is empty.
+func (n *Node) Containers(fn string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if fn != "" {
+		return len(n.containers[fn])
+	}
+	total := 0
+	for _, l := range n.containers {
+		total += len(l)
+	}
+	return total
+}
+
+// ColdStarts returns the number of containers ever cold-started.
+func (n *Node) ColdStarts() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.coldStarts
+}
+
+// MemInUse returns the memory held by live containers in bytes.
+func (n *Node) MemInUse() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.memInUse
+}
+
+// MemIntegralGBs returns the container-memory usage integral in GB·s.
+func (n *Node) MemIntegralGBs() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.memInt.Finish(n.clk.Since(n.started))
+}
+
+func (n *Node) adjustMemLocked(delta int64) {
+	n.memInUse += delta
+	n.memInt.Set(n.clk.Since(n.started), metrics.BytesToGB(n.memInUse))
+}
+
+// RoutingTable maps each function to the node that hosts it. The load
+// balancer publishes it; each node's engine consults it to locate the
+// destinations of its DLU transfers.
+type RoutingTable map[string]string
+
+// Clone returns a copy of the table.
+func (rt RoutingTable) Clone() RoutingTable {
+	out := make(RoutingTable, len(rt))
+	for k, v := range rt {
+		out[k] = v
+	}
+	return out
+}
+
+// PlacementPolicy decides which node hosts each function. DataFlower
+// exposes this interface so custom balancers can plug in (§6.1).
+type PlacementPolicy interface {
+	// Place assigns every function name to one of the node names.
+	Place(functions []string, nodes []string) RoutingTable
+}
+
+// RoundRobin is the default placement policy: functions are assigned to
+// nodes in declaration order, round-robin.
+type RoundRobin struct{}
+
+// Place implements PlacementPolicy.
+func (RoundRobin) Place(functions []string, nodes []string) RoutingTable {
+	rt := make(RoutingTable, len(functions))
+	if len(nodes) == 0 {
+		return rt
+	}
+	for i, fn := range functions {
+		rt[fn] = nodes[i%len(nodes)]
+	}
+	return rt
+}
+
+// SingleNode places every function on the same node (used by the
+// early-triggering experiment, which removes the network).
+type SingleNode struct{ Node string }
+
+// Place implements PlacementPolicy.
+func (s SingleNode) Place(functions []string, nodes []string) RoutingTable {
+	rt := make(RoutingTable, len(functions))
+	target := s.Node
+	if target == "" && len(nodes) > 0 {
+		target = nodes[0]
+	}
+	for _, fn := range functions {
+		rt[fn] = target
+	}
+	return rt
+}
+
+// Cluster groups the worker nodes and the load balancer.
+type Cluster struct {
+	mu     sync.Mutex
+	nodes  map[string]*Node
+	order  []string
+	policy PlacementPolicy
+}
+
+// NewCluster returns a cluster using the given placement policy
+// (RoundRobin when nil).
+func NewCluster(policy PlacementPolicy) *Cluster {
+	if policy == nil {
+		policy = RoundRobin{}
+	}
+	return &Cluster{nodes: make(map[string]*Node), policy: policy}
+}
+
+// AddNode registers a node.
+func (c *Cluster) AddNode(n *Node) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.nodes[n.Name]; dup {
+		return fmt.Errorf("cluster: duplicate node %q", n.Name)
+	}
+	c.nodes[n.Name] = n
+	c.order = append(c.order, n.Name)
+	return nil
+}
+
+// Node returns the named node.
+func (c *Cluster) Node(name string) (*Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	return n, ok
+}
+
+// Nodes returns the node names in registration order.
+func (c *Cluster) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Place runs the placement policy over the given functions and returns the
+// routing table.
+func (c *Cluster) Place(functions []string) RoutingTable {
+	return c.policy.Place(functions, c.Nodes())
+}
+
+// TotalMemIntegralGBs sums the per-node memory integrals.
+func (c *Cluster) TotalMemIntegralGBs() float64 {
+	c.mu.Lock()
+	names := make([]string, len(c.order))
+	copy(names, c.order)
+	nodes := c.nodes
+	c.mu.Unlock()
+	sort.Strings(names)
+	total := 0.0
+	for _, name := range names {
+		total += nodes[name].MemIntegralGBs()
+	}
+	return total
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSpecScaling(t *testing.T) {
+	base := Spec{MemoryMB: 128}
+	if got := base.CPUShare(); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("cpu = %v, want 0.1", got)
+	}
+	if got := base.BandwidthBps(); math.Abs(got-5e6) > 1e-6 {
+		t.Fatalf("bw = %v, want 5e6 B/s (40 Mbps)", got)
+	}
+	double := Spec{MemoryMB: 256}
+	if got := double.CPUShare(); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("cpu = %v, want 0.2", got)
+	}
+	if base.MemoryBytes() != 128<<20 {
+		t.Fatalf("bytes = %d", base.MemoryBytes())
+	}
+}
+
+func TestStartAcquireRelease(t *testing.T) {
+	n := NewNode("w1", Options{})
+	if _, ok := n.AcquireIdle("f"); ok {
+		t.Fatal("acquired from empty pool")
+	}
+	c := n.StartContainer("f", Spec{MemoryMB: 128})
+	if c.State() != Busy {
+		t.Fatalf("state = %v", c.State())
+	}
+	if c.Invocations() != 1 {
+		t.Fatalf("invocations = %d", c.Invocations())
+	}
+	n.Release(c)
+	if c.State() != Idle {
+		t.Fatalf("state after release = %v", c.State())
+	}
+	got, ok := n.AcquireIdle("f")
+	if !ok || got != c {
+		t.Fatal("warm container not reused")
+	}
+	if got.Invocations() != 2 {
+		t.Fatalf("invocations = %d", got.Invocations())
+	}
+}
+
+func TestColdStartDelay(t *testing.T) {
+	n := NewNode("w1", Options{ColdStart: 50 * time.Millisecond})
+	start := time.Now()
+	n.StartContainer("f", Spec{MemoryMB: 128})
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("cold start delay not applied")
+	}
+	if n.ColdStarts() != 1 {
+		t.Fatalf("coldStarts = %d", n.ColdStarts())
+	}
+}
+
+func TestMemAccounting(t *testing.T) {
+	n := NewNode("w1", Options{KeepAlive: time.Nanosecond})
+	c := n.StartContainer("f", Spec{MemoryMB: 256})
+	if n.MemInUse() != 256<<20 {
+		t.Fatalf("mem = %d", n.MemInUse())
+	}
+	n.Release(c)
+	time.Sleep(time.Millisecond)
+	if reaped := n.ReapIdle(); reaped != 1 {
+		t.Fatalf("reaped = %d", reaped)
+	}
+	if n.MemInUse() != 0 {
+		t.Fatalf("mem = %d after reap", n.MemInUse())
+	}
+	if c.State() != Recycled {
+		t.Fatalf("state = %v", c.State())
+	}
+}
+
+func TestReapSkipsBusyAndPendingDLU(t *testing.T) {
+	n := NewNode("w1", Options{KeepAlive: time.Nanosecond})
+	busy := n.StartContainer("f", Spec{MemoryMB: 128})
+	pending := n.StartContainer("f", Spec{MemoryMB: 128})
+	n.Release(pending)
+	pending.AddDLUPending(1000)
+	time.Sleep(time.Millisecond)
+	if reaped := n.ReapIdle(); reaped != 0 {
+		t.Fatalf("reaped = %d, want 0 (busy + pending DLU)", reaped)
+	}
+	if busy.State() != Busy || pending.State() != Idle {
+		t.Fatal("states changed")
+	}
+	// Once the DLU drains, the container may be recycled.
+	pending.AddDLUPending(-1000)
+	if reaped := n.ReapIdle(); reaped != 1 {
+		t.Fatalf("reaped = %d, want 1", reaped)
+	}
+}
+
+func TestDLUPendingClampsAtZero(t *testing.T) {
+	n := NewNode("w1", Options{})
+	c := n.StartContainer("f", Spec{MemoryMB: 128})
+	c.AddDLUPending(-5)
+	if c.DLUPending() != 0 {
+		t.Fatalf("pending = %d", c.DLUPending())
+	}
+}
+
+func TestNoKeepAliveMeansNoReaping(t *testing.T) {
+	n := NewNode("w1", Options{})
+	c := n.StartContainer("f", Spec{MemoryMB: 128})
+	n.Release(c)
+	if reaped := n.ReapIdle(); reaped != 0 {
+		t.Fatalf("reaped = %d with KeepAlive=0", reaped)
+	}
+}
+
+func TestContainersCount(t *testing.T) {
+	n := NewNode("w1", Options{})
+	n.StartContainer("f", Spec{MemoryMB: 128})
+	n.StartContainer("f", Spec{MemoryMB: 128})
+	n.StartContainer("g", Spec{MemoryMB: 128})
+	if n.Containers("f") != 2 || n.Containers("g") != 1 || n.Containers("") != 3 {
+		t.Fatalf("counts: f=%d g=%d all=%d", n.Containers("f"), n.Containers("g"), n.Containers(""))
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	rt := RoundRobin{}.Place([]string{"a", "b", "c", "d"}, []string{"n1", "n2", "n3"})
+	if rt["a"] != "n1" || rt["b"] != "n2" || rt["c"] != "n3" || rt["d"] != "n1" {
+		t.Fatalf("rt = %v", rt)
+	}
+}
+
+func TestRoundRobinNoNodes(t *testing.T) {
+	rt := RoundRobin{}.Place([]string{"a"}, nil)
+	if len(rt) != 0 {
+		t.Fatalf("rt = %v", rt)
+	}
+}
+
+func TestSingleNodePlacement(t *testing.T) {
+	rt := SingleNode{Node: "n2"}.Place([]string{"a", "b"}, []string{"n1", "n2"})
+	if rt["a"] != "n2" || rt["b"] != "n2" {
+		t.Fatalf("rt = %v", rt)
+	}
+	rt = SingleNode{}.Place([]string{"a"}, []string{"n1", "n2"})
+	if rt["a"] != "n1" {
+		t.Fatalf("default single-node rt = %v", rt)
+	}
+}
+
+func TestRoutingTableClone(t *testing.T) {
+	rt := RoutingTable{"a": "n1"}
+	cp := rt.Clone()
+	cp["a"] = "n2"
+	if rt["a"] != "n1" {
+		t.Fatal("clone aliased")
+	}
+}
+
+func TestClusterPlaceAndLookup(t *testing.T) {
+	c := NewCluster(nil)
+	if err := c.AddNode(NewNode("n1", Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode(NewNode("n2", Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode(NewNode("n1", Options{})); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	rt := c.Place([]string{"f", "g"})
+	if rt["f"] != "n1" || rt["g"] != "n2" {
+		t.Fatalf("rt = %v", rt)
+	}
+	if _, ok := c.Node("n1"); !ok {
+		t.Fatal("node lookup failed")
+	}
+	if _, ok := c.Node("nope"); ok {
+		t.Fatal("phantom node")
+	}
+	if got := c.Nodes(); len(got) != 2 || got[0] != "n1" {
+		t.Fatalf("nodes = %v", got)
+	}
+}
+
+func TestMemIntegralAccrues(t *testing.T) {
+	n := NewNode("w1", Options{})
+	n.StartContainer("f", Spec{MemoryMB: 1024}) // 1 GB
+	time.Sleep(20 * time.Millisecond)
+	got := n.MemIntegralGBs()
+	if got <= 0 {
+		t.Fatalf("integral = %v, want > 0", got)
+	}
+	c := NewCluster(nil)
+	_ = c.AddNode(n)
+	if tot := c.TotalMemIntegralGBs(); tot < got {
+		t.Fatalf("cluster total %v < node %v", tot, got)
+	}
+}

@@ -1,0 +1,271 @@
+package controlflow
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/workloads"
+)
+
+func newWCSystem(t testing.TB, trigger time.Duration) *System {
+	t.Helper()
+	prof := workloads.WordCount(3, 0)
+	cl := cluster.NewCluster(nil)
+	for i := 1; i <= 3; i++ {
+		if err := cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i), cluster.Options{
+			ColdStart: time.Millisecond,
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := NewSystem(Config{
+		Workflow:        prof.Workflow,
+		Cluster:         cl,
+		Store:           storage.New(storage.Options{}),
+		DefaultSpec:     cluster.Spec{MemoryMB: 10 * 1024},
+		TriggerOverhead: trigger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerWC(t, sys, 3)
+	return sys
+}
+
+func registerWC(t testing.TB, sys *System, fanout int) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sys.Register("start", func(ctx *Context) error {
+		src, err := ctx.Input("src")
+		if err != nil {
+			return err
+		}
+		words := strings.Fields(string(src))
+		shards := make([][]byte, fanout)
+		for i := range shards {
+			lo, hi := i*len(words)/fanout, (i+1)*len(words)/fanout
+			shards[i] = []byte(strings.Join(words[lo:hi], " "))
+		}
+		return ctx.PutForeach("filelist", shards)
+	}))
+	must(sys.Register("count", func(ctx *Context) error {
+		shard, err := ctx.Input("file")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("result", []byte(fmt.Sprint(len(strings.Fields(string(shard)))))) // word count per shard
+	}))
+	must(sys.Register("merge", func(ctx *Context) error {
+		parts, err := ctx.InputList("counts")
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, p := range parts {
+			var n int
+			fmt.Sscan(string(p), &n)
+			total += n
+		}
+		return ctx.Put("out", []byte(fmt.Sprint(total)))
+	}))
+}
+
+func TestEndToEndWordCount(t *testing.T) {
+	sys := newWCSystem(t, 0)
+	defer sys.Shutdown()
+	inv, err := sys.Invoke(map[string][]byte{"start.src": []byte("a b c d e f g")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := inv.OutputBytes("out")
+	if !ok || string(out) != "7" {
+		t.Fatalf("out = %q %v", out, ok)
+	}
+	if inv.Latency() <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestTriggerOverheadAddsLatency(t *testing.T) {
+	fast := newWCSystem(t, 0)
+	defer fast.Shutdown()
+	slow := newWCSystem(t, 40*time.Millisecond)
+	defer slow.Shutdown()
+	run := func(sys *System) time.Duration {
+		inv, err := sys.Invoke(map[string][]byte{"start.src": []byte("x y z")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return inv.Latency()
+	}
+	lf, ls := run(fast), run(slow)
+	// Three stages x 40ms = at least 120ms extra.
+	if ls-lf < 100*time.Millisecond {
+		t.Fatalf("trigger overhead not visible: fast=%v slow=%v", lf, ls)
+	}
+}
+
+func TestStorageCleanedAfterCompletion(t *testing.T) {
+	prof := workloads.WordCount(2, 0)
+	cl := cluster.NewCluster(nil)
+	_ = cl.AddNode(cluster.NewNode("w1", cluster.Options{}))
+	store := storage.New(storage.Options{})
+	sys, err := NewSystem(Config{
+		Workflow: prof.Workflow, Cluster: cl, Store: store,
+		DefaultSpec: cluster.Spec{MemoryMB: 10 * 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	registerWC(t, sys, 2)
+	inv, _ := sys.Invoke(map[string][]byte{"start.src": []byte("p q r s")})
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Bytes() != 0 {
+		t.Fatalf("storage holds %d bytes after completion", store.Bytes())
+	}
+	if store.PeakBytes() == 0 {
+		t.Fatal("intermediate data never hit storage")
+	}
+}
+
+func TestHandlerErrorFailsInvocation(t *testing.T) {
+	sys := newWCSystem(t, 0)
+	defer sys.Shutdown()
+	_ = sys.Register("merge", func(ctx *Context) error {
+		return errors.New("merge broke")
+	})
+	inv, _ := sys.Invoke(map[string][]byte{"start.src": []byte("a b")})
+	if err := inv.Wait(); err == nil || !strings.Contains(err.Error(), "merge broke") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidationAndLifecycle(t *testing.T) {
+	prof := workloads.WordCount(2, 0)
+	cl := cluster.NewCluster(nil)
+	_ = cl.AddNode(cluster.NewNode("w1", cluster.Options{}))
+	if _, err := NewSystem(Config{Workflow: prof.Workflow, Cluster: cl}); err == nil {
+		t.Fatal("missing store accepted")
+	}
+	sys, err := NewSystem(Config{
+		Workflow: prof.Workflow, Cluster: cl, Store: storage.New(storage.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("ghost", func(*Context) error { return nil }); err == nil {
+		t.Fatal("ghost registration accepted")
+	}
+	if _, err := sys.Invoke(map[string][]byte{"start.src": []byte("x")}); err == nil {
+		t.Fatal("invoke without handlers accepted")
+	}
+	sys.Shutdown()
+	registerWC(t, sys, 2)
+	if _, err := sys.Invoke(map[string][]byte{"start.src": []byte("x")}); err == nil {
+		t.Fatal("invoke after shutdown accepted")
+	}
+	sys.Shutdown() // idempotent
+}
+
+// TestParadigmComparison runs the same wordcount on the control-flow
+// baseline and the DataFlower engine over identical clusters with tight
+// bandwidth, asserting the data-flow paradigm wins end to end — the
+// runtime-plane version of the paper's headline result.
+func TestParadigmComparison(t *testing.T) {
+	text := []byte(strings.Repeat("alpha beta gamma delta epsilon ", 2000)) // ~62 KB
+
+	mkCluster := func() *cluster.Cluster {
+		cl := cluster.NewCluster(nil)
+		for i := 1; i <= 3; i++ {
+			_ = cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i), cluster.Options{
+				ColdStart: time.Millisecond,
+			}))
+		}
+		return cl
+	}
+	spec := cluster.Spec{MemoryMB: 256} // 10 MB/s containers: transfers visible
+
+	// Control flow: storage round trips plus completion-based triggering.
+	prof := workloads.WordCount(3, 0)
+	cf, err := NewSystem(Config{
+		Workflow:        prof.Workflow,
+		Cluster:         mkCluster(),
+		Store:           storage.New(storage.Options{AccessLatency: 3 * time.Millisecond}),
+		DefaultSpec:     spec,
+		TriggerOverhead: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Shutdown()
+	registerWC(t, cf, 3)
+
+	df, err := core.NewSystem(core.Config{
+		Workflow:    workloads.WordCount(3, 0).Workflow,
+		Cluster:     mkCluster(),
+		DefaultSpec: spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Shutdown()
+	if err := workloads.RegisterWordCount(df, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(invoke func() (interface {
+		Wait() error
+		Latency() time.Duration
+	}, error)) time.Duration {
+		// Warm round first (cold start parity), then measure.
+		for i := 0; i < 2; i++ {
+			inv, err := invoke()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inv.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			if i == 1 {
+				return inv.Latency()
+			}
+		}
+		return 0
+	}
+	cfLat := run(func() (interface {
+		Wait() error
+		Latency() time.Duration
+	}, error) {
+		return cf.Invoke(map[string][]byte{"start.src": text})
+	})
+	dfLat := run(func() (interface {
+		Wait() error
+		Latency() time.Duration
+	}, error) {
+		return df.Invoke(map[string][]byte{"start.src": text})
+	})
+	if dfLat >= cfLat {
+		t.Fatalf("DataFlower %v not faster than control flow %v on the runtime plane", dfLat, cfLat)
+	}
+	t.Logf("runtime plane: DataFlower %v vs control flow %v (%.2fx)", dfLat, cfLat, float64(cfLat)/float64(dfLat))
+}

@@ -1,0 +1,466 @@
+// Package core is the runtime-plane implementation of the DataFlower
+// scheme: the paper's primary contribution as an embeddable Go library.
+//
+// A System deploys one workflow onto a cluster of in-process worker nodes.
+// Each function's container is abstracted into a Function Logic Unit (the
+// registered Handler, executed by the FLU executor) and a Data Logic Unit
+// (a per-container daemon that ships the handler's outputs asynchronously
+// through pipe connectors into the destination node's Wait-Match Memory).
+// Functions are triggered by data availability — an instance runs as soon
+// as all of its input data has landed in the local data sink — with no
+// central orchestrator: each node's engine reacts to arrivals, mirroring
+// the decentralized workflow engine of §6.
+//
+// The engine implements the paper's mechanisms:
+//
+//   - computation/communication overlap: Handler.Put hands data to the DLU
+//     and returns; the container can serve the next invocation while the
+//     DLU pumps (§5.1);
+//   - pressure-aware function scaling: Pressure = α·Size/Bw − T_FLU; when
+//     positive the FLU is callstack-blocked for that long and the engine
+//     pre-warms an extra container (§5.2, Eq. 1);
+//   - host-container collaborative communication: data lands in the
+//     destination node's wmm.Sink before the destination container exists;
+//     local pipe, streaming pipe and <16 KB socket paths (§7);
+//   - fault tolerance: handler failures are ReDone up to a retry limit and
+//     interrupted transfers resume from the connector's incremental
+//     checkpoints (§6.2);
+//   - data-consistency keep-alive: a container is not recycled while its
+//     DLU holds unsent bytes (§6.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/pipe"
+	"repro/internal/trace"
+	"repro/internal/workflow"
+)
+
+// Handler is a user function body (the FLU logic). It reads its inputs and
+// emits outputs through the Context (the DLU interface).
+type Handler func(ctx *Context) error
+
+// DefaultAlpha is the transfer loss factor α of Eq. 1.
+const DefaultAlpha = 1.1
+
+// DefaultMaxContainersPerFn bounds auto-scaling per function.
+const DefaultMaxContainersPerFn = 32
+
+// DefaultRetryLimit is the ReDo budget per function instance and transfer.
+const DefaultRetryLimit = 2
+
+// Config assembles a System.
+type Config struct {
+	Workflow *workflow.Workflow
+	Cluster  *cluster.Cluster
+
+	// Spec overrides the container specification per function.
+	Spec map[string]cluster.Spec
+	// DefaultSpec is used when Spec has no entry (128 MB when zero).
+	DefaultSpec cluster.Spec
+
+	// Alpha is Eq. 1's loss factor (DefaultAlpha when 0).
+	Alpha float64
+	// DisablePressure turns off pressure-aware scaling (the
+	// DataFlower-Non-aware ablation).
+	DisablePressure bool
+	// MaxContainersPerFn bounds per-function scale-out.
+	MaxContainersPerFn int
+	// RetryLimit is the ReDo budget (DefaultRetryLimit when 0).
+	RetryLimit int
+	// TransferLatency is the fixed cross-node connector setup latency.
+	TransferLatency time.Duration
+	// ChunkSize overrides the streaming pipe chunk size.
+	ChunkSize int
+	// Trace receives execution events when non-nil.
+	Trace *trace.Log
+	// ReapInterval runs the keep-alive reaper periodically on every node
+	// (recycling idle containers whose keep-alive expired, §6.2). Zero
+	// disables the background reaper; callers may still invoke
+	// Node.ReapIdle manually.
+	ReapInterval time.Duration
+}
+
+// System is one deployed workflow.
+type System struct {
+	cfg      Config
+	wf       *workflow.Workflow
+	routing  cluster.RoutingTable
+	handlers map[string]Handler
+	preds    map[string][]string
+
+	checkLog *pipe.CheckpointLog
+	epoch    time.Time
+
+	mu         sync.Mutex
+	invs       map[string]*Invocation
+	reqSeq     int64
+	flu        map[string]*fluStats
+	sem        map[string]chan struct{} // per-fn instance concurrency cap
+	dlus       map[*cluster.Container]chan dluTask
+	injector   func(streamID string) int64
+	stopReaper chan struct{}
+	closed     bool
+	bg         sync.WaitGroup
+}
+
+// fluStats tracks the running average FLU execution time (T_FLU in Eq. 1).
+type fluStats struct {
+	total time.Duration
+	count int64
+}
+
+func (f *fluStats) avg() time.Duration {
+	if f.count == 0 {
+		return 0
+	}
+	return f.total / time.Duration(f.count)
+}
+
+// NewSystem validates the workflow, places functions on the cluster's nodes
+// and returns a System ready for Register/Invoke.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Workflow == nil || cfg.Cluster == nil {
+		return nil, errors.New("core: Config needs Workflow and Cluster")
+	}
+	if err := cfg.Workflow.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultAlpha
+	}
+	if cfg.MaxContainersPerFn == 0 {
+		cfg.MaxContainersPerFn = DefaultMaxContainersPerFn
+	}
+	if cfg.RetryLimit == 0 {
+		cfg.RetryLimit = DefaultRetryLimit
+	}
+	if cfg.DefaultSpec.MemoryMB == 0 {
+		cfg.DefaultSpec = cluster.Spec{MemoryMB: cluster.BaseMemoryMB}
+	}
+	var fns []string
+	for _, f := range cfg.Workflow.Functions {
+		fns = append(fns, f.Name)
+	}
+	routing := cfg.Cluster.Place(fns)
+	for _, fn := range fns {
+		if _, ok := routing[fn]; !ok {
+			return nil, fmt.Errorf("core: placement left %s unassigned", fn)
+		}
+	}
+	preds := map[string][]string{}
+	for _, fn := range fns {
+		preds[fn] = cfg.Workflow.Predecessors(fn)
+	}
+	s := &System{
+		cfg:      cfg,
+		wf:       cfg.Workflow,
+		routing:  routing,
+		handlers: make(map[string]Handler),
+		preds:    preds,
+		checkLog: pipe.NewCheckpointLog(),
+		epoch:    time.Now(),
+		invs:     make(map[string]*Invocation),
+		flu:      make(map[string]*fluStats),
+		sem:      make(map[string]chan struct{}),
+		dlus:     make(map[*cluster.Container]chan dluTask),
+	}
+	for _, fn := range fns {
+		s.sem[fn] = make(chan struct{}, cfg.MaxContainersPerFn)
+		s.flu[fn] = &fluStats{}
+	}
+	if cfg.ReapInterval > 0 {
+		s.stopReaper = make(chan struct{})
+		s.bg.Add(1)
+		go s.reaper()
+	}
+	return s, nil
+}
+
+// reaper periodically recycles keep-alive-expired idle containers on every
+// node, honouring the data-consistency rule (containers with pending DLU
+// data are skipped by Node.ReapIdle).
+func (s *System) reaper() {
+	defer s.bg.Done()
+	ticker := time.NewTicker(s.cfg.ReapInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopReaper:
+			return
+		case <-ticker.C:
+			for _, name := range s.cfg.Cluster.Nodes() {
+				if n, ok := s.cfg.Cluster.Node(name); ok {
+					n.ReapIdle()
+				}
+			}
+		}
+	}
+}
+
+// Routing returns the published routing table (function -> node).
+func (s *System) Routing() cluster.RoutingTable { return s.routing.Clone() }
+
+// Register installs the handler for a function. Every workflow function
+// must be registered before Invoke.
+func (s *System) Register(fn string, h Handler) error {
+	if _, ok := s.wf.Function(fn); !ok {
+		return fmt.Errorf("core: unknown function %q", fn)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[fn] = h
+	return nil
+}
+
+// spec returns the container spec for fn.
+func (s *System) spec(fn string) cluster.Spec {
+	if sp, ok := s.cfg.Spec[fn]; ok {
+		return sp
+	}
+	return s.cfg.DefaultSpec
+}
+
+// node returns fn's host node.
+func (s *System) node(fn string) *cluster.Node {
+	n, _ := s.cfg.Cluster.Node(s.routing[fn])
+	return n
+}
+
+// now returns time since system epoch (trace/sink timestamps).
+func (s *System) now() time.Duration { return time.Since(s.epoch) }
+
+func (s *System) traceEvent(kind trace.Kind, reqID, fn string, idx int, note string) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Append(trace.Event{At: s.now(), Kind: kind, ReqID: reqID, Fn: fn, Idx: idx, Note: note})
+	}
+}
+
+// Invocation is one in-flight or finished workflow request.
+type Invocation struct {
+	ReqID string
+
+	sys     *System
+	tracker *dataflow.Tracker
+	mu      sync.Mutex
+	done    chan struct{}
+	err     error
+	start   time.Time
+	end     time.Time
+	// attempts counts ReDo attempts per instance.
+	attempts map[dataflow.InstanceKey]int
+	// running guards against double-trigger of the same instance.
+	running map[dataflow.InstanceKey]bool
+	// arrived records the items that landed for each instance; broadcast
+	// items are recorded under {Fn, BroadcastIdx}.
+	arrived map[dataflow.InstanceKey][]dataflow.Item
+}
+
+// Done is closed when the request completes (successfully or not).
+func (inv *Invocation) Done() <-chan struct{} { return inv.done }
+
+// Err returns the terminal error, if any. Valid after Done is closed.
+func (inv *Invocation) Err() error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.err
+}
+
+// Latency returns the end-to-end latency. Valid after Done is closed.
+func (inv *Invocation) Latency() time.Duration {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.end.Sub(inv.start)
+}
+
+// Outputs returns the items delivered to the user.
+func (inv *Invocation) Outputs() []dataflow.Item {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.tracker.UserItems()
+}
+
+// OutputBytes returns the payload of the first user item with the given
+// source function output name, for convenient assertions.
+func (inv *Invocation) OutputBytes(output string) ([]byte, bool) {
+	for _, it := range inv.Outputs() {
+		if it.Output == output {
+			b, ok := it.Value.Payload.([]byte)
+			return b, ok
+		}
+	}
+	return nil, false
+}
+
+// Wait blocks until completion and returns the terminal error.
+func (inv *Invocation) Wait() error {
+	<-inv.done
+	return inv.Err()
+}
+
+// fail terminates the invocation with err (first error wins).
+func (inv *Invocation) fail(err error) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if inv.err == nil {
+		inv.err = err
+	}
+	inv.finishLocked()
+}
+
+func (inv *Invocation) finishLocked() {
+	select {
+	case <-inv.done:
+		return
+	default:
+	}
+	inv.end = time.Now()
+	close(inv.done)
+	inv.sys.traceEvent(trace.ReqCompleted, inv.ReqID, "", 0, "")
+	// End-of-request cleanup: release any leftover sink entries on every
+	// node (normally proactive release has already dropped them).
+	for _, name := range inv.sys.cfg.Cluster.Nodes() {
+		if n, ok := inv.sys.cfg.Cluster.Node(name); ok {
+			n.Sink.ReleaseRequest(n.Elapsed(), inv.ReqID)
+		}
+	}
+}
+
+// Invoke starts one workflow request. input maps "function.input" to the
+// payload for every user entry input.
+func (s *System) Invoke(input map[string][]byte) (*Invocation, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("core: system is shut down")
+	}
+	for _, f := range s.wf.Functions {
+		if _, ok := s.handlers[f.Name]; !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("core: function %q has no handler", f.Name)
+		}
+	}
+	s.reqSeq++
+	reqID := fmt.Sprintf("req-%d", s.reqSeq)
+	inv := &Invocation{
+		ReqID:    reqID,
+		sys:      s,
+		tracker:  dataflow.NewTracker(s.wf, reqID),
+		done:     make(chan struct{}),
+		start:    time.Now(),
+		attempts: make(map[dataflow.InstanceKey]int),
+		running:  make(map[dataflow.InstanceKey]bool),
+		arrived:  make(map[dataflow.InstanceKey][]dataflow.Item),
+	}
+	s.invs[reqID] = inv
+	s.mu.Unlock()
+
+	s.traceEvent(trace.ReqArrived, reqID, "", 0, "")
+	userVals := make(map[string]dataflow.Value, len(input))
+	for k, b := range input {
+		userVals[k] = dataflow.Value{Payload: b, Size: int64(len(b))}
+	}
+	inv.mu.Lock()
+	newly, err := inv.tracker.Start(userVals)
+	inv.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.scheduleReady(inv, newly)
+	return inv, nil
+}
+
+// scheduleReady triggers newly ready instances.
+func (s *System) scheduleReady(inv *Invocation, keys []dataflow.InstanceKey) {
+	for _, key := range keys {
+		key := key
+		inv.mu.Lock()
+		if inv.running[key] {
+			inv.mu.Unlock()
+			continue
+		}
+		inv.running[key] = true
+		inv.mu.Unlock()
+		s.traceEvent(trace.InstanceTriggered, inv.ReqID, key.Fn, key.Idx, "")
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			s.runInstance(inv, key)
+		}()
+	}
+}
+
+// runInstance executes one function instance: acquire a container, fetch
+// inputs from the local sink, run the handler (ReDo on failure), release
+// the container.
+func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
+	fn := key.Fn
+	node := s.node(fn)
+	sem := s.sem[fn]
+	sem <- struct{}{}
+	defer func() { <-sem }()
+
+	ctr, warm := node.AcquireIdle(fn)
+	if !warm {
+		ctr = node.StartContainer(fn, s.spec(fn))
+		s.traceEvent(trace.ContainerCold, inv.ReqID, fn, key.Idx, ctr.ID)
+	}
+	defer node.Release(ctr)
+
+	inv.mu.Lock()
+	inputs := inv.tracker.Inputs(key)
+	own := append([]dataflow.Item(nil), inv.arrived[key]...)
+	shared := append([]dataflow.Item(nil), inv.arrived[dataflow.InstanceKey{Fn: fn, Idx: dataflow.BroadcastIdx}]...)
+	inv.mu.Unlock()
+
+	// Consume the instance's data from the Wait-Match Memory so proactive
+	// release can reclaim it. Broadcast data is peeked, not consumed: it is
+	// shared by all instances and dropped at request completion.
+	at := node.Elapsed()
+	for _, it := range own {
+		node.Sink.Get(at, sinkKey(inv.ReqID, it))
+	}
+	for _, it := range shared {
+		node.Sink.Peek(at, sinkKey(inv.ReqID, it))
+	}
+
+	limit := s.cfg.RetryLimit
+	for {
+		s.traceEvent(trace.InstanceStarted, inv.ReqID, fn, key.Idx, "")
+		ctx := &Context{
+			ReqID:    inv.ReqID,
+			Instance: key,
+			inputs:   inputs,
+			sys:      s,
+			inv:      inv,
+			ctr:      ctr,
+			started:  time.Now(),
+		}
+		err := s.handlers[fn](ctx)
+		dur := time.Since(ctx.started)
+		s.mu.Lock()
+		st := s.flu[fn]
+		st.total += dur
+		st.count++
+		s.mu.Unlock()
+		if err == nil {
+			s.traceEvent(trace.InstanceFinished, inv.ReqID, fn, key.Idx, "")
+			return
+		}
+		inv.mu.Lock()
+		inv.attempts[key]++
+		attempts := inv.attempts[key]
+		inv.mu.Unlock()
+		if attempts > limit {
+			inv.fail(fmt.Errorf("core: %s failed after %d attempts: %w", key, attempts, err))
+			return
+		}
+		s.traceEvent(trace.InstanceStarted, inv.ReqID, fn, key.Idx, fmt.Sprintf("redo-%d", attempts))
+	}
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/pipe"
+	"repro/internal/trace"
+	"repro/internal/wmm"
+	"repro/internal/workflow"
+)
+
+// Context is the FLU's view of its invocation and its interface to the DLU
+// daemon (DataFlower.DLU.Put in the paper's programming model, Fig. 5(a)).
+type Context struct {
+	ReqID    string
+	Instance dataflow.InstanceKey
+
+	inputs  map[string][]dataflow.Value
+	sys     *System
+	inv     *Invocation
+	ctr     *cluster.Container
+	started time.Time
+}
+
+// Input returns the single value of a NORMAL input.
+func (c *Context) Input(name string) ([]byte, error) {
+	vals := c.inputs[name]
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("core: input %q has no data", name)
+	}
+	b, _ := vals[0].Payload.([]byte)
+	return b, nil
+}
+
+// InputList returns all values of a LIST (fan-in) input, ordered by the
+// producing instance (branch order), independent of network arrival order.
+func (c *Context) InputList(name string) ([][]byte, error) {
+	vals, ok := c.inputs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown input %q", name)
+	}
+	out := make([][]byte, 0, len(vals))
+	for _, v := range vals {
+		b, _ := v.Payload.([]byte)
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Put hands one payload for a NORMAL or MERGE output to the DLU. It may be
+// called in the middle of the function body; the transfer proceeds
+// asynchronously while the FLU keeps computing (§5.1). When backpressure is
+// detected (Eq. 1), Put blocks the calling FLU for the pressure duration
+// (the Callstack blocking signal) and the engine pre-warms a container.
+func (c *Context) Put(output string, payload []byte) error {
+	return c.put(output, []dataflow.Value{{Payload: payload, Size: int64(len(payload))}}, 0)
+}
+
+// PutForeach hands a FOREACH output to the DLU: element i flows to instance
+// i of the destination function.
+func (c *Context) PutForeach(output string, payloads [][]byte) error {
+	vals := make([]dataflow.Value, len(payloads))
+	for i, p := range payloads {
+		vals[i] = dataflow.Value{Payload: p, Size: int64(len(p))}
+	}
+	return c.put(output, vals, 0)
+}
+
+// PutSwitch hands a SWITCH output to the DLU, selecting destination case.
+func (c *Context) PutSwitch(output string, payload []byte, switchCase int) error {
+	return c.put(output, []dataflow.Value{{Payload: payload, Size: int64(len(payload))}}, switchCase)
+}
+
+func (c *Context) put(output string, values []dataflow.Value, switchCase int) error {
+	inv, s := c.inv, c.sys
+	inv.mu.Lock()
+	items, err := inv.tracker.Route(c.Instance, output, values, switchCase)
+	inv.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	var totalSize int64
+	for _, it := range items {
+		totalSize += it.Value.Size
+	}
+	// Pressure-aware scaling (Eq. 1): Pressure = α·Size/Bw − T_FLU.
+	if !s.cfg.DisablePressure && totalSize > 0 {
+		bw := c.ctr.Limiter.Rate()
+		if bw > 0 {
+			s.mu.Lock()
+			tflu := s.flu[c.Instance.Fn].avg()
+			s.mu.Unlock()
+			pressure := time.Duration(s.cfg.Alpha*float64(totalSize)/bw*float64(time.Second)) - tflu
+			if pressure > 0 {
+				s.prewarm(c.Instance.Fn)
+				// Callstack blocking: throttle this FLU so its producing
+				// rate matches the DLU's consuming rate.
+				c.ctr.Node.Clock().Sleep(pressure)
+			}
+		}
+	}
+	// Hand the items to the container's DLU daemon (FIFO).
+	c.ctr.AddDLUPending(totalSize)
+	s.dluEnqueue(c.ctr, dluTask{inv: inv, items: items})
+	return nil
+}
+
+// prewarm starts an extra idle container for fn if none is idle, in the
+// background (the engine's reaction to a pressure notification).
+func (s *System) prewarm(fn string) {
+	node := s.node(fn)
+	if node == nil {
+		return
+	}
+	if c, ok := node.AcquireIdle(fn); ok {
+		node.Release(c) // an idle container already exists
+		return
+	}
+	if node.Containers(fn) >= s.cfg.MaxContainersPerFn {
+		return
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		c := node.StartContainer(fn, s.spec(fn))
+		node.Release(c)
+	}()
+}
+
+// dluTask is one batch of routed items for a DLU daemon to pump.
+type dluTask struct {
+	inv   *Invocation
+	items []dataflow.Item
+}
+
+// dluEnqueue hands a task to the container's DLU daemon, starting the
+// daemon on first use.
+func (s *System) dluEnqueue(ctr *cluster.Container, task dluTask) {
+	s.mu.Lock()
+	ch, ok := s.dlus[ctr]
+	if !ok {
+		ch = make(chan dluTask, 256)
+		s.dlus[ctr] = ch
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			s.dluDaemon(ctr, ch)
+		}()
+	}
+	s.mu.Unlock()
+	ch <- task
+}
+
+// dluDaemon pumps routed items through pipe connectors in FIFO order.
+func (s *System) dluDaemon(ctr *cluster.Container, ch chan dluTask) {
+	for task := range ch {
+		for _, it := range task.items {
+			s.ship(ctr, task.inv, it)
+			ctr.AddDLUPending(-it.Value.Size)
+		}
+	}
+}
+
+// sinkKey derives the Wait-Match Memory key of an item deterministically
+// from its addressing, so producers and consumers agree without extra
+// coordination.
+func sinkKey(reqID string, it dataflow.Item) wmm.Key {
+	return wmm.Key{
+		ReqID: reqID,
+		Fn:    it.To.Fn,
+		Data:  fmt.Sprintf("%s@%d<-%s.%s", it.Input, it.To.Idx, it.From, it.Output),
+	}
+}
+
+// ship moves one item to its destination: straight to the user, through the
+// local pipe when src and dst share a node, or through the streaming pipe /
+// small-data socket across nodes. On arrival the destination sink caches
+// the payload and the tracker is advanced, possibly triggering instances.
+func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item) {
+	s.traceEvent(trace.DataSent, inv.ReqID, it.From.Fn, it.From.Idx,
+		fmt.Sprintf("%s->%s %dB", it.Output, it.To, it.Value.Size))
+	if it.To.Fn == workflow.UserSource {
+		s.deliver(inv, it)
+		return
+	}
+	srcNode := ctr.Node
+	dstNode := s.node(it.To.Fn)
+	payload, _ := it.Value.Payload.([]byte)
+
+	if dstNode == srcNode {
+		// Local pipe connector: pump straight into the local data sink.
+		s.land(inv, it, dstNode)
+		return
+	}
+	// Cross-node: stream through the source container's TC class and the
+	// destination node NIC, checkpointing incrementally.
+	streamID := fmt.Sprintf("%s/%s.%s->%s", inv.ReqID, it.From, it.Output, it.To)
+	tr := &pipe.Transfer{
+		StreamID:  streamID,
+		Payload:   payload,
+		ChunkSize: s.cfg.ChunkSize,
+		Limiters:  []*pipe.Limiter{ctr.Limiter, dstNode.NIC},
+		Latency:   s.cfg.TransferLatency,
+		Log:       s.checkLog,
+		FailAfter: s.failAfter(streamID),
+		Clock:     srcNode.Clock(),
+	}
+	deliver := func(off int64, chunk []byte, total int64) {}
+	_, err := tr.Run(0, deliver)
+	for attempt := 0; err != nil && attempt < s.cfg.RetryLimit; attempt++ {
+		// ReDo from the last good checkpoint (§6.2).
+		tr.FailAfter = s.failAfter(streamID) // re-ask the injector
+		_, err = tr.Resume(deliver)
+	}
+	if err != nil {
+		inv.fail(fmt.Errorf("core: transfer %s failed: %w", streamID, err))
+		return
+	}
+	s.checkLog.Clear(streamID)
+	s.land(inv, it, dstNode)
+}
+
+// land caches the item in the destination node's sink, advances the
+// tracker and schedules newly ready instances.
+func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node) {
+	dstNode.Sink.Put(dstNode.Elapsed(), sinkKey(inv.ReqID, it), it.Value, 1)
+	s.traceEvent(trace.DataArrived, inv.ReqID, it.To.Fn, it.To.Idx,
+		fmt.Sprintf("%s %dB", it.Input, it.Value.Size))
+	s.deliver(inv, it)
+}
+
+// deliver advances the tracker with the item and reacts to readiness and
+// completion.
+func (s *System) deliver(inv *Invocation, it dataflow.Item) {
+	inv.mu.Lock()
+	if it.To.Fn != workflow.UserSource {
+		inv.arrived[storeKeyOf(it)] = append(inv.arrived[storeKeyOf(it)], it)
+	}
+	newly, err := inv.tracker.Deliver(it)
+	complete := err == nil && inv.tracker.Complete()
+	inv.mu.Unlock()
+	if err != nil {
+		inv.fail(err)
+		return
+	}
+	s.scheduleReady(inv, newly)
+	if complete {
+		inv.mu.Lock()
+		inv.finishLocked()
+		inv.mu.Unlock()
+	}
+}
+
+// storeKeyOf maps an item to the arrived-map key (broadcast items collapse
+// onto {Fn, BroadcastIdx}).
+func storeKeyOf(it dataflow.Item) dataflow.InstanceKey {
+	if it.To.Idx == dataflow.BroadcastIdx {
+		return dataflow.InstanceKey{Fn: it.To.Fn, Idx: dataflow.BroadcastIdx}
+	}
+	return it.To
+}
+
+// failAfter consults the system's failure injector for a stream.
+func (s *System) failAfter(streamID string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.injector == nil {
+		return -1
+	}
+	return s.injector(streamID)
+}
+
+// SetTransferFailureInjector installs fn; for each (re)attempted transfer
+// it returns the byte offset at which to inject a failure, or -1 for none.
+// Used by fault-tolerance tests.
+func (s *System) SetTransferFailureInjector(fn func(streamID string) int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injector = fn
+}
+
+// Shutdown drains the DLU daemons and waits for background work. The
+// system rejects new invocations afterwards.
+func (s *System) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, ch := range s.dlus {
+		close(ch)
+	}
+	if s.stopReaper != nil {
+		close(s.stopReaper)
+	}
+	s.mu.Unlock()
+	s.bg.Wait()
+}
+
+// FLUAvg returns the running average execution time of fn (T_FLU).
+func (s *System) FLUAvg(fn string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.flu[fn]; ok {
+		return st.avg()
+	}
+	return 0
+}

@@ -1,0 +1,494 @@
+// Package dataflow implements the execution semantics of a workflow's
+// data-flow graph for a single request: routing emitted data to destination
+// function instances, tracking dynamic fan-out degrees, and deciding when an
+// instance's inputs are all available (the data-availability triggering rule
+// at the heart of DataFlower).
+//
+// Terminology: a *function instance* is one invocation of a function for one
+// workflow request; Foreach fan-out creates several instances of the
+// destination function. An *item* is one piece of data addressed to one
+// input slot of one instance (or to the user).
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workflow"
+)
+
+// BroadcastIdx addresses all current and future instances of a function.
+const BroadcastIdx = -1
+
+// InstanceKey identifies a function instance within one request.
+type InstanceKey struct {
+	Fn  string
+	Idx int
+}
+
+// String formats the key as fn[idx].
+func (k InstanceKey) String() string { return fmt.Sprintf("%s[%d]", k.Fn, k.Idx) }
+
+// UserKey is the pseudo-instance representing the workflow invoker.
+var UserKey = InstanceKey{Fn: workflow.UserSource, Idx: 0}
+
+// Value is one datum produced by a function: an opaque payload plus its size
+// in bytes (the simulation plane uses only Size; the runtime plane carries
+// real payloads).
+type Value struct {
+	Payload any
+	Size    int64
+}
+
+// Item is one routed datum: Value addressed to an input slot.
+type Item struct {
+	From   InstanceKey
+	Output string
+	To     InstanceKey // To.Idx may be BroadcastIdx
+	Input  string      // empty when To is the user
+	Value  Value
+}
+
+// Tracker tracks one request's data-flow state. It is not safe for
+// concurrent use; callers serialize access (the DES is single-threaded, the
+// runtime engine guards it with a mutex).
+type Tracker struct {
+	wf    *workflow.Workflow
+	reqID string
+
+	// fanout[fn] is the number of instances of fn; known[fn] reports whether
+	// the degree is final (functions targeted by FOREACH outputs are unknown
+	// until the producer emits).
+	fanout map[string]int
+	known  map[string]bool
+
+	// arrived[key][input] holds delivered items per instance input slot.
+	arrived map[InstanceKey]map[string][]Item
+	// broadcast[fn][input] holds items addressed to all instances of fn.
+	broadcast map[string]map[string][]Item
+
+	ready     map[InstanceKey]bool // became ready at some point
+	userItems []Item
+
+	// switchChosen[fn.output] records the chosen case for SWITCH outputs.
+	switchChosen map[string]int
+	// foreachUser[fn.output] records, for FOREACH outputs that target the
+	// user, how many elements each producing instance emitted.
+	foreachUser map[string]int
+}
+
+// NewTracker returns a tracker for one request over wf. The workflow must be
+// valid (workflow.Validate).
+func NewTracker(wf *workflow.Workflow, reqID string) *Tracker {
+	t := &Tracker{
+		wf:           wf,
+		reqID:        reqID,
+		fanout:       make(map[string]int),
+		known:        make(map[string]bool),
+		arrived:      make(map[InstanceKey]map[string][]Item),
+		broadcast:    make(map[string]map[string][]Item),
+		ready:        make(map[InstanceKey]bool),
+		switchChosen: make(map[string]int),
+		foreachUser:  make(map[string]int),
+	}
+	// Functions not targeted by any FOREACH output have exactly one
+	// instance, known immediately.
+	foreachTargets := map[string]bool{}
+	for _, e := range wf.Edges() {
+		if e.Kind == workflow.Foreach && e.To != workflow.UserSource {
+			foreachTargets[e.To] = true
+		}
+	}
+	for _, f := range wf.Functions {
+		if foreachTargets[f.Name] {
+			t.known[f.Name] = false
+		} else {
+			t.fanout[f.Name] = 1
+			t.known[f.Name] = true
+		}
+	}
+	return t
+}
+
+// ReqID returns the request identifier this tracker serves.
+func (t *Tracker) ReqID() string { return t.reqID }
+
+// Fanout returns the instance count of fn and whether it is known yet.
+func (t *Tracker) Fanout(fn string) (int, bool) {
+	return t.fanout[fn], t.known[fn]
+}
+
+// setFanout fixes the instance count of a FOREACH-targeted function.
+func (t *Tracker) setFanout(fn string, k int) error {
+	if t.known[fn] {
+		if t.fanout[fn] != k {
+			return fmt.Errorf("dataflow: conflicting fan-out for %s: %d then %d", fn, t.fanout[fn], k)
+		}
+		return nil
+	}
+	if k < 1 {
+		return fmt.Errorf("dataflow: fan-out for %s must be >= 1, got %d", fn, k)
+	}
+	t.fanout[fn] = k
+	t.known[fn] = true
+	return nil
+}
+
+// Start routes the user-supplied entry inputs and returns the instances that
+// became ready. userInput provides a value for every entry input, keyed by
+// "function.input".
+func (t *Tracker) Start(userInput map[string]Value) ([]InstanceKey, error) {
+	var newly []InstanceKey
+	for _, f := range t.wf.Functions {
+		for _, in := range f.Inputs {
+			if !in.FromUser {
+				continue
+			}
+			key := f.Name + "." + in.Name
+			v, ok := userInput[key]
+			if !ok {
+				return nil, fmt.Errorf("dataflow: missing user input %s", key)
+			}
+			items := []Item{{
+				From:   UserKey,
+				Output: "input",
+				To:     InstanceKey{Fn: f.Name, Idx: BroadcastIdx},
+				Input:  in.Name,
+				Value:  v,
+			}}
+			n, err := t.deliverAll(items)
+			if err != nil {
+				return nil, err
+			}
+			newly = append(newly, n...)
+		}
+	}
+	return newly, nil
+}
+
+// Emit routes the values produced on one output of one instance and
+// delivers them immediately (Route followed by Deliver on every item). For a
+// FOREACH output, values carries one Value per fan-out element; for every
+// other kind it carries exactly one Value. switchCase selects the
+// destination for SWITCH outputs (ignored otherwise). It returns the routed
+// items (including user deliveries) and the instances that became ready.
+//
+// Engines that move data through a network use Route instead and call
+// Deliver when the bytes actually arrive.
+func (t *Tracker) Emit(from InstanceKey, output string, values []Value, switchCase int) ([]Item, []InstanceKey, error) {
+	items, err := t.Route(from, output, values, switchCase)
+	if err != nil {
+		return nil, nil, err
+	}
+	newly, err := t.deliverAll(items)
+	if err != nil {
+		return nil, nil, err
+	}
+	return items, newly, nil
+}
+
+// Route computes the destination items for one output emission without
+// delivering them. It fixes fan-out degrees (FOREACH) and records SWITCH
+// choices as a side effect, since both are known at emission time.
+func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchCase int) ([]Item, error) {
+	f, ok := t.wf.Function(from.Fn)
+	if !ok {
+		return nil, fmt.Errorf("dataflow: unknown function %s", from.Fn)
+	}
+	o, ok := f.Output(output)
+	if !ok {
+		return nil, fmt.Errorf("dataflow: %s has no output %s", from.Fn, output)
+	}
+	var items []Item
+	switch o.Kind {
+	case workflow.Foreach:
+		if len(values) == 0 {
+			return nil, fmt.Errorf("dataflow: FOREACH output %s.%s emitted no values", from.Fn, output)
+		}
+		for _, d := range o.Dests {
+			if d.Function == workflow.UserSource {
+				t.foreachUser[from.Fn+"."+output] = len(values)
+				for _, v := range values {
+					items = append(items, Item{From: from, Output: output, To: UserKey, Value: v})
+				}
+				continue
+			}
+			if err := t.setFanout(d.Function, len(values)); err != nil {
+				return nil, err
+			}
+			for i, v := range values {
+				items = append(items, Item{
+					From:   from,
+					Output: output,
+					To:     InstanceKey{Fn: d.Function, Idx: i},
+					Input:  d.Input,
+					Value:  v,
+				})
+			}
+		}
+	case workflow.Switch:
+		if len(values) != 1 {
+			return nil, fmt.Errorf("dataflow: SWITCH output %s.%s needs exactly one value", from.Fn, output)
+		}
+		if switchCase < 0 || switchCase >= len(o.Dests) {
+			return nil, fmt.Errorf("dataflow: SWITCH case %d out of range for %s.%s", switchCase, from.Fn, output)
+		}
+		t.switchChosen[from.Fn+"."+output] = switchCase
+		d := o.Dests[switchCase]
+		to := InstanceKey{Fn: d.Function, Idx: BroadcastIdx}
+		if d.Function == workflow.UserSource {
+			to = UserKey
+		}
+		items = append(items, Item{From: from, Output: output, To: to, Input: d.Input, Value: values[0]})
+	default: // Normal, Merge
+		if len(values) != 1 {
+			return nil, fmt.Errorf("dataflow: output %s.%s needs exactly one value, got %d", from.Fn, output, len(values))
+		}
+		for _, d := range o.Dests {
+			to := InstanceKey{Fn: d.Function, Idx: BroadcastIdx}
+			if d.Function == workflow.UserSource {
+				to = UserKey
+			}
+			items = append(items, Item{From: from, Output: output, To: to, Input: d.Input, Value: values[0]})
+		}
+	}
+	return items, nil
+}
+
+// Deliver records the arrival of one item at its destination and returns the
+// instances that became ready as a result. Engines that move items through
+// the network call Deliver when the bytes land in the destination data sink.
+func (t *Tracker) Deliver(it Item) ([]InstanceKey, error) {
+	return t.deliverAll([]Item{it})
+}
+
+func (t *Tracker) deliverAll(items []Item) ([]InstanceKey, error) {
+	touched := map[string]bool{}
+	for _, it := range items {
+		if it.To.Fn == workflow.UserSource {
+			t.userItems = append(t.userItems, it)
+			continue
+		}
+		if _, ok := t.wf.Function(it.To.Fn); !ok {
+			return nil, fmt.Errorf("dataflow: item to unknown function %s", it.To.Fn)
+		}
+		if it.To.Idx == BroadcastIdx {
+			bm := t.broadcast[it.To.Fn]
+			if bm == nil {
+				bm = map[string][]Item{}
+				t.broadcast[it.To.Fn] = bm
+			}
+			bm[it.Input] = append(bm[it.Input], it)
+		} else {
+			am := t.arrived[it.To]
+			if am == nil {
+				am = map[string][]Item{}
+				t.arrived[it.To] = am
+			}
+			am[it.Input] = append(am[it.Input], it)
+		}
+		touched[it.To.Fn] = true
+	}
+	var newly []InstanceKey
+	for fn := range touched {
+		newly = append(newly, t.checkReady(fn)...)
+	}
+	sort.Slice(newly, func(i, j int) bool {
+		if newly[i].Fn != newly[j].Fn {
+			return newly[i].Fn < newly[j].Fn
+		}
+		return newly[i].Idx < newly[j].Idx
+	})
+	return newly, nil
+}
+
+// checkReady scans the instances of fn for newly satisfied input sets.
+func (t *Tracker) checkReady(fn string) []InstanceKey {
+	if !t.known[fn] {
+		return nil // fan-out degree not fixed yet: no instance may start
+	}
+	f, _ := t.wf.Function(fn)
+	var newly []InstanceKey
+	for idx := 0; idx < t.fanout[fn]; idx++ {
+		key := InstanceKey{Fn: fn, Idx: idx}
+		if t.ready[key] {
+			continue
+		}
+		if t.inputsSatisfied(f, key) {
+			t.ready[key] = true
+			newly = append(newly, key)
+		}
+	}
+	return newly
+}
+
+// inputsSatisfied reports whether every declared input of the instance has
+// arrived (Normal: >= 1 value counting broadcasts; List: the full fan-in).
+func (t *Tracker) inputsSatisfied(f *workflow.Function, key InstanceKey) bool {
+	for _, in := range f.Inputs {
+		got := len(t.arrived[key][in.Name]) + len(t.broadcast[f.Name][in.Name])
+		switch in.Kind {
+		case workflow.List:
+			want, known := t.expectedListCount(f.Name, in.Name)
+			if !known || got < want {
+				return false
+			}
+		default:
+			if got < 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// expectedListCount returns how many items the List input (fn, input) must
+// collect: the sum of the instance counts of every producer feeding it. The
+// count is unknown until every producer's fan-out degree is known.
+func (t *Tracker) expectedListCount(fn, input string) (int, bool) {
+	total := 0
+	for _, e := range t.wf.Edges() {
+		if e.To != fn || e.ToInput != input {
+			continue
+		}
+		k, known := t.fanout[e.From], t.known[e.From]
+		if !known {
+			return 0, false
+		}
+		total += k
+	}
+	return total, true
+}
+
+// Inputs returns the values collected for each input of a ready instance.
+// List (fan-in) inputs are ordered deterministically by the producing
+// instance (function name, then instance index), so merge-style consumers
+// see branch outputs in branch order regardless of network arrival order.
+func (t *Tracker) Inputs(key InstanceKey) map[string][]Value {
+	f, ok := t.wf.Function(key.Fn)
+	if !ok {
+		return nil
+	}
+	out := make(map[string][]Value, len(f.Inputs))
+	for _, in := range f.Inputs {
+		items := append([]Item(nil), t.arrived[key][in.Name]...)
+		items = append(items, t.broadcast[key.Fn][in.Name]...)
+		if in.Kind == workflow.List {
+			sort.SliceStable(items, func(i, j int) bool {
+				if items[i].From.Fn != items[j].From.Fn {
+					return items[i].From.Fn < items[j].From.Fn
+				}
+				return items[i].From.Idx < items[j].From.Idx
+			})
+		}
+		vals := make([]Value, len(items))
+		for i, it := range items {
+			vals[i] = it.Value
+		}
+		out[in.Name] = vals
+	}
+	return out
+}
+
+// IsReady reports whether the instance has become ready.
+func (t *Tracker) IsReady(key InstanceKey) bool { return t.ready[key] }
+
+// UserItems returns the items delivered to the user so far.
+func (t *Tracker) UserItems() []Item { return t.userItems }
+
+// ExpectedUserItems returns the total number of items the user should
+// eventually receive and whether that number is final. The expectation is
+// undecidable (known == false) while a SWITCH on the executed path has not
+// fired or while a fan-out degree on the executed path is still unknown.
+func (t *Tracker) ExpectedUserItems() (int, bool) {
+	// Compute the set of functions that will execute, following all edges
+	// except un-taken SWITCH branches. If a reachable SWITCH has not fired
+	// yet, the expectation is not final.
+	reachable := map[string]bool{}
+	var stack []string
+	for _, f := range t.wf.Entries() {
+		stack = append(stack, f.Name)
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachable[fn] {
+			continue
+		}
+		reachable[fn] = true
+		f, _ := t.wf.Function(fn)
+		for _, o := range f.Outputs {
+			if o.Kind == workflow.Switch {
+				chosen, fired := t.switchChosen[fn+"."+o.Name]
+				if !fired {
+					return 0, false
+				}
+				if d := o.Dests[chosen]; d.Function != workflow.UserSource {
+					stack = append(stack, d.Function)
+				}
+				continue
+			}
+			for _, d := range o.Dests {
+				if d.Function != workflow.UserSource {
+					stack = append(stack, d.Function)
+				}
+			}
+		}
+	}
+	total := 0
+	for _, f := range t.wf.Functions {
+		if !reachable[f.Name] {
+			continue
+		}
+		k, known := t.fanout[f.Name]
+		if !known {
+			return 0, false
+		}
+		for _, o := range f.Outputs {
+			if o.Kind == workflow.Switch {
+				chosen := t.switchChosen[f.Name+"."+o.Name]
+				if o.Dests[chosen].Function == workflow.UserSource {
+					total += k
+				}
+				continue
+			}
+			for _, d := range o.Dests {
+				if d.Function == workflow.UserSource {
+					if o.Kind == workflow.Foreach {
+						// Each element reaches the user separately; the count
+						// is known only after the output has been emitted.
+						n, fired := t.foreachUser[f.Name+"."+o.Name]
+						if !fired {
+							return 0, false
+						}
+						total += k * n
+						continue
+					}
+					total += k
+				}
+			}
+		}
+	}
+	return total, true
+}
+
+// Complete reports whether the user has received every expected item.
+func (t *Tracker) Complete() bool {
+	want, known := t.ExpectedUserItems()
+	return known && len(t.userItems) >= want
+}
+
+// Instances returns every instance key with known fan-out, in deterministic
+// order. Instances of functions with unknown fan-out are omitted.
+func (t *Tracker) Instances() []InstanceKey {
+	var out []InstanceKey
+	for _, f := range t.wf.Functions {
+		if !t.known[f.Name] {
+			continue
+		}
+		for i := 0; i < t.fanout[f.Name]; i++ {
+			out = append(out, InstanceKey{Fn: f.Name, Idx: i})
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample()
+	if s.Count() != 0 || s.Mean() != 0 || s.P99() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	if s.CDF() != nil {
+		t.Fatal("empty sample CDF should be nil")
+	}
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample min/max should be 0")
+	}
+}
+
+func TestSampleMeanMinMax(t *testing.T) {
+	s := NewSample()
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	if !almost(s.Mean(), 2.5, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSamplePercentileInterpolation(t *testing.T) {
+	s := NewSample()
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	if got := s.Percentile(50); !almost(got, 25, 1e-12) {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %v, want 10", got)
+	}
+	if got := s.Percentile(100); got != 40 {
+		t.Fatalf("p100 = %v, want 40", got)
+	}
+	if got := s.Percentile(-5); got != 10 {
+		t.Fatalf("p-5 = %v, want 10", got)
+	}
+	if got := s.Percentile(120); got != 40 {
+		t.Fatalf("p120 = %v, want 40", got)
+	}
+}
+
+func TestSampleSingleValue(t *testing.T) {
+	s := NewSample()
+	s.Add(7)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Fatalf("p%v = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestSampleStdDev(t *testing.T) {
+	s := NewSample()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.StdDev(); !almost(got, 2, 1e-12) {
+		t.Fatalf("sd = %v, want 2", got)
+	}
+}
+
+func TestSampleAddDuration(t *testing.T) {
+	s := NewSample()
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); !almost(got, 1.5, 1e-12) {
+		t.Fatalf("mean = %v, want 1.5", got)
+	}
+}
+
+func TestSampleCDFMonotone(t *testing.T) {
+	s := NewSample()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		s.Add(r.Float64() * 10)
+	}
+	cdf := s.CDF()
+	if len(cdf) != 100 {
+		t.Fatalf("cdf len = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("cdf not monotone at %d", i)
+		}
+	}
+	if !almost(cdf[len(cdf)-1].Fraction, 1, 1e-12) {
+		t.Fatal("cdf should end at 1")
+	}
+}
+
+func TestSampleMerge(t *testing.T) {
+	a, b := NewSample(), NewSample()
+	a.Add(1)
+	b.Add(3)
+	a.Merge(b)
+	if a.Count() != 2 || !almost(a.Mean(), 2, 1e-12) {
+		t.Fatalf("merge: count=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestSampleValuesSortedCopy(t *testing.T) {
+	s := NewSample()
+	s.Add(3)
+	s.Add(1)
+	v := s.Values()
+	if !sort.Float64sAreSorted(v) {
+		t.Fatal("Values not sorted")
+	}
+	v[0] = 99 // must not corrupt internal state
+	if s.Min() != 1 {
+		t.Fatal("Values did not return a copy")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestSamplePercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample()
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Add(v)
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := s.Percentile(p1), s.Percentile(p2)
+		return v1 <= v2 && v1 >= s.Min() && v2 <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegralConstantLevel(t *testing.T) {
+	g := NewIntegral()
+	g.Set(0, 2)
+	got := g.Finish(10 * time.Second)
+	if !almost(got, 20, 1e-9) {
+		t.Fatalf("integral = %v, want 20", got)
+	}
+}
+
+func TestIntegralSteps(t *testing.T) {
+	g := NewIntegral()
+	g.Set(0, 1)
+	g.Set(2*time.Second, 3)          // 1*2 = 2
+	g.AddDelta(4*time.Second, -2)    // 3*2 = 6
+	got := g.Finish(6 * time.Second) // 1*2 = 2
+	if !almost(got, 10, 1e-9) {
+		t.Fatalf("integral = %v, want 10", got)
+	}
+	if g.Level() != 1 {
+		t.Fatalf("level = %v, want 1", g.Level())
+	}
+	if g.Peak() != 3 {
+		t.Fatalf("peak = %v, want 3", g.Peak())
+	}
+}
+
+func TestIntegralClampsBackwardsTime(t *testing.T) {
+	g := NewIntegral()
+	g.Set(5*time.Second, 1)
+	g.Set(3*time.Second, 2) // clamped to t=5
+	got := g.Finish(6 * time.Second)
+	if !almost(got, 2, 1e-9) {
+		t.Fatalf("integral = %v, want 2", got)
+	}
+}
+
+func TestIntegralFirstEventSetsOrigin(t *testing.T) {
+	g := NewIntegral()
+	g.Set(10*time.Second, 5)
+	got := g.Finish(12 * time.Second)
+	if !almost(got, 10, 1e-9) {
+		t.Fatalf("integral = %v, want 10 (no accumulation before first event)", got)
+	}
+}
+
+// Property: integral of a non-negative level is non-negative and additive in
+// time extension.
+func TestIntegralNonNegativeProperty(t *testing.T) {
+	f := func(levels []uint16, gaps []uint16) bool {
+		g := NewIntegral()
+		at := time.Duration(0)
+		n := len(levels)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		for i := 0; i < n; i++ {
+			at += time.Duration(gaps[i]) * time.Millisecond
+			g.Set(at, float64(levels[i]))
+			if g.Total() < -1e-9 {
+				return false
+			}
+		}
+		before := g.Finish(at + time.Second)
+		after := g.Finish(at + 2*time.Second)
+		return after >= before-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineSampleAt(t *testing.T) {
+	tl := NewTimeline()
+	tl.Set(time.Second, 1)
+	tl.Set(3*time.Second, 5)
+	if got := tl.SampleAt(0); got != 0 {
+		t.Fatalf("SampleAt(0) = %v", got)
+	}
+	if got := tl.SampleAt(2 * time.Second); got != 1 {
+		t.Fatalf("SampleAt(2s) = %v", got)
+	}
+	if got := tl.SampleAt(3 * time.Second); got != 5 {
+		t.Fatalf("SampleAt(3s) = %v", got)
+	}
+}
+
+func TestTimelineAddDelta(t *testing.T) {
+	tl := NewTimeline()
+	tl.AddDelta(0, 2)
+	tl.AddDelta(time.Second, 3)
+	if got := tl.SampleAt(2 * time.Second); got != 5 {
+		t.Fatalf("level = %v, want 5", got)
+	}
+}
+
+func TestTimelineMeanBetween(t *testing.T) {
+	tl := NewTimeline()
+	tl.Set(0, 0)
+	tl.Set(time.Second, 10)
+	tl.Set(2*time.Second, 0)
+	// Over [0,2s): 0 for 1s, 10 for 1s -> mean 5.
+	if got := tl.MeanBetween(0, 2*time.Second); !almost(got, 5, 1e-9) {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	// Degenerate interval.
+	if got := tl.MeanBetween(time.Second, time.Second); got != 10 {
+		t.Fatalf("degenerate mean = %v, want 10", got)
+	}
+}
+
+func TestTimelinePointsCopy(t *testing.T) {
+	tl := NewTimeline()
+	tl.Set(0, 1)
+	pts := tl.Points()
+	pts[0].Level = 99
+	if tl.SampleAt(0) != 1 {
+		t.Fatal("Points did not return a copy")
+	}
+}
+
+func TestByteConversions(t *testing.T) {
+	if !almost(BytesToGB(GB), 1, 1e-12) {
+		t.Fatal("BytesToGB")
+	}
+	if !almost(BytesToMB(5*MB), 5, 1e-12) {
+		t.Fatal("BytesToMB")
+	}
+}

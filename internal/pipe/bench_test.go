@@ -1,0 +1,39 @@
+package pipe
+
+import (
+	"testing"
+)
+
+// BenchmarkStreamingTransfer measures the chunked transfer path with
+// checkpointing (no rate limiting).
+func BenchmarkStreamingTransfer(b *testing.B) {
+	p := payload(1 << 20)
+	log := NewCheckpointLog()
+	sink := make([]byte, len(p))
+	b.SetBytes(int64(len(p)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := &Transfer{StreamID: "s", Payload: p, ChunkSize: 64 << 10, Log: log, FailAfter: -1}
+		if _, err := tr.Run(0, func(off int64, chunk []byte, _ int64) {
+			copy(sink[off:], chunk)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		log.Clear("s")
+	}
+}
+
+// BenchmarkSocketFastPath measures the <16 KB direct path.
+func BenchmarkSocketFastPath(b *testing.B) {
+	p := payload(8 << 10)
+	b.SetBytes(int64(len(p)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := &Transfer{Payload: p, FailAfter: -1}
+		if _, err := tr.Run(0, func(int64, []byte, int64) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

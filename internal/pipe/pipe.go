@@ -1,0 +1,243 @@
+// Package pipe implements the pipe connectors of DataFlower's runtime
+// plane: the streaming channel that carries intermediate data from a source
+// DLU to the destination node's data sink (§7, §8).
+//
+// Three connector flavours mirror the paper:
+//
+//   - Local pipe: source and destination functions share a node; the data is
+//     pumped straight into the local data sink with no network shaping.
+//   - Streaming pipe: cross-node transfers are chunked; every chunk passes
+//     the source container's bandwidth limiter (Linux TC stand-in) and the
+//     destination node's limiter, and advances an incremental checkpoint so
+//     failed transfers can be resumed or ReDone from the last good offset.
+//   - Socket fast path: payloads at or below SmallDataThreshold (16 KB) skip
+//     the chunking machinery and travel as a single message.
+//
+// The package substitutes the paper's Kafka-based connector: topics map to
+// stream IDs, partitions to per-container streams, and Kafka's offset
+// tracking to the CheckpointLog.
+package pipe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// SmallDataThreshold is the size at or below which data bypasses the
+// streaming pipe and travels directly over a socket (paper §7: 16 KB).
+const SmallDataThreshold = 16 << 10
+
+// DefaultChunkSize is the streaming pipe chunk size.
+const DefaultChunkSize = 64 << 10
+
+// ErrInjectedFailure is returned by transfers that hit an injected fault.
+var ErrInjectedFailure = errors.New("pipe: injected transfer failure")
+
+// Limiter paces bytes at a fixed rate (a fluid token bucket): concurrent
+// takers queue in FIFO arrival order, like flows sharing a TC class. A nil
+// *Limiter is valid and imposes no limit.
+type Limiter struct {
+	mu   sync.Mutex
+	clk  clock.Clock
+	rate float64 // bytes per second
+	next time.Time
+}
+
+// NewLimiter returns a limiter enforcing bytesPerSec on clk. A
+// non-positive rate means unlimited.
+func NewLimiter(clk clock.Clock, bytesPerSec float64) *Limiter {
+	return &Limiter{clk: clk, rate: bytesPerSec}
+}
+
+// Rate returns the configured rate in bytes/second (<=0 unlimited).
+func (l *Limiter) Rate() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.rate
+}
+
+// Take blocks until n bytes may pass.
+func (l *Limiter) Take(n int64) {
+	if l == nil || l.rate <= 0 || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	now := l.clk.Now()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	l.next = l.next.Add(time.Duration(float64(n) / l.rate * float64(time.Second)))
+	wait := l.next.Sub(now)
+	l.mu.Unlock()
+	if wait > 0 {
+		l.clk.Sleep(wait)
+	}
+}
+
+// Checkpoint is one incremental progress record of a stream.
+type Checkpoint struct {
+	StreamID string
+	Offset   int64
+	At       time.Time
+}
+
+// CheckpointLog records the furthest checkpoint per stream. It stands in
+// for the connector's asynchronous incremental checkpointing (§6.2): after a
+// failure, the engine asks for the last good offset and ReDoes from there.
+type CheckpointLog struct {
+	mu   sync.Mutex
+	last map[string]Checkpoint
+}
+
+// NewCheckpointLog returns an empty log.
+func NewCheckpointLog() *CheckpointLog {
+	return &CheckpointLog{last: make(map[string]Checkpoint)}
+}
+
+// Record stores cp if it advances the stream's offset.
+func (c *CheckpointLog) Record(cp Checkpoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.last[cp.StreamID]; !ok || cp.Offset > old.Offset {
+		c.last[cp.StreamID] = cp
+	}
+}
+
+// Last returns the furthest checkpoint of the stream.
+func (c *CheckpointLog) Last(streamID string) (Checkpoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, ok := c.last[streamID]
+	return cp, ok
+}
+
+// Clear drops the stream's checkpoints (after successful completion).
+func (c *CheckpointLog) Clear(streamID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.last, streamID)
+}
+
+// Len returns the number of streams with recorded checkpoints.
+func (c *CheckpointLog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.last)
+}
+
+// Transfer is one source-to-destination data movement.
+type Transfer struct {
+	// StreamID names the stream for checkpointing (Kafka topic+partition
+	// stand-in). Required when Log is set.
+	StreamID string
+	// Payload is the data to move.
+	Payload []byte
+	// ChunkSize overrides DefaultChunkSize when > 0.
+	ChunkSize int
+	// Limiters are applied to every chunk in order (source container TC
+	// class, then destination node NIC). Nil entries are skipped.
+	Limiters []*Limiter
+	// Latency is a fixed per-transfer latency applied before the first byte
+	// (connection setup / broker hop).
+	Latency time.Duration
+	// Log receives incremental checkpoints after every chunk; nil disables.
+	Log *CheckpointLog
+	// FailAfter injects a failure once at least FailAfter bytes have been
+	// sent; negative disables injection.
+	FailAfter int64
+	// Clock paces Latency; defaults to the wall clock.
+	Clock clock.Clock
+}
+
+// Deliver is called for every chunk that arrives at the destination.
+// offset is the position of the chunk's first byte, total the payload size.
+type Deliver func(offset int64, chunk []byte, total int64)
+
+// Run moves the payload from the given offset, invoking deliver per chunk.
+// It returns the number of bytes delivered in this run (not counting the
+// resumed prefix) and the first error.
+func (t *Transfer) Run(fromOffset int64, deliver Deliver) (int64, error) {
+	clk := t.Clock
+	if clk == nil {
+		clk = clock.NewWall()
+	}
+	if t.Log != nil && t.StreamID == "" {
+		return 0, fmt.Errorf("pipe: transfer with Log requires StreamID")
+	}
+	if fromOffset < 0 || fromOffset > int64(len(t.Payload)) {
+		return 0, fmt.Errorf("pipe: resume offset %d out of range [0,%d]", fromOffset, len(t.Payload))
+	}
+	if t.Latency > 0 {
+		clk.Sleep(t.Latency)
+	}
+	total := int64(len(t.Payload))
+	// Socket fast path for small data: one message, no chunking, no
+	// checkpoint (an interrupted small send is simply redone).
+	if total <= SmallDataThreshold {
+		for _, l := range t.Limiters {
+			l.Take(total - fromOffset)
+		}
+		if t.FailAfter >= 0 && t.FailAfter < total {
+			return 0, ErrInjectedFailure
+		}
+		if total > fromOffset {
+			deliver(fromOffset, t.Payload[fromOffset:], total)
+		}
+		return total - fromOffset, nil
+	}
+	chunk := t.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	var sent int64
+	for off := fromOffset; off < total; {
+		end := off + int64(chunk)
+		if end > total {
+			end = total
+		}
+		n := end - off
+		for _, l := range t.Limiters {
+			l.Take(n)
+		}
+		if t.FailAfter >= 0 && off+n > t.FailAfter {
+			return sent, ErrInjectedFailure
+		}
+		deliver(off, t.Payload[off:end], total)
+		sent += n
+		off = end
+		if t.Log != nil {
+			t.Log.Record(Checkpoint{StreamID: t.StreamID, Offset: off, At: clk.Now()})
+		}
+	}
+	return sent, nil
+}
+
+// RunAll is Run from offset 0 collecting the whole payload into a buffer and
+// returning it; convenient for local pipes and tests.
+func (t *Transfer) RunAll() ([]byte, error) {
+	buf := make([]byte, len(t.Payload))
+	_, err := t.Run(0, func(off int64, chunk []byte, _ int64) {
+		copy(buf[off:], chunk)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Resume continues a failed transfer from its last checkpoint. It returns
+// the bytes delivered by the resumed run.
+func (t *Transfer) Resume(deliver Deliver) (int64, error) {
+	from := int64(0)
+	if t.Log != nil {
+		if cp, ok := t.Log.Last(t.StreamID); ok {
+			from = cp.Offset
+		}
+	}
+	return t.Run(from, deliver)
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw kernel event processing: a chain of
+// processes sleeping in sequence.
+func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEnv(1)
+		e.Go("p", func(p *Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Sleep(time.Millisecond)
+			}
+		})
+		e.Run()
+	}
+}
+
+// BenchmarkQueueHandoff measures producer/consumer hand-off cost.
+func BenchmarkQueueHandoff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEnv(1)
+		q := NewQueue(e, 0)
+		e.Go("prod", func(p *Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Put(q, j)
+			}
+		})
+		e.Go("cons", func(p *Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Get(q)
+			}
+		})
+		e.Run()
+	}
+}
+
+// BenchmarkResourceContention measures semaphore queueing with many
+// processes.
+func BenchmarkResourceContention(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEnv(1)
+		r := NewResource(e, 4)
+		for j := 0; j < 100; j++ {
+			e.Go("w", func(p *Proc) {
+				p.Acquire(r, 1)
+				p.Sleep(time.Microsecond)
+				r.Release(1)
+			})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,663 @@
+// Package simcluster is the simulation plane: the paper's 5-node testbed
+// (load generator, backend storage node, three workers) modelled on the
+// discrete-event kernel, with full implementations of
+//
+//   - DataFlower (data-flow triggering, FLU/DLU overlap, pressure-aware
+//     scaling, host-container collaborative communication),
+//   - DataFlower-Non-aware (the §9.3 ablation: pressure scaling off),
+//   - FaaSFlow (decentralized control-flow, backend storage persistence,
+//     local-memory cache for co-located functions),
+//   - SONIC (control-flow with host-local storage and p2p fetches), and
+//   - StateMachine (a production-style centralized orchestrator, used for
+//     the §3 investigation and the §9.9 stateful experiment).
+//
+// Every experiment in EXPERIMENTS.md drives this package; absolute numbers
+// depend on the calibrated workload profiles, but the comparisons (who
+// wins, by how much, where crossovers sit) reproduce the paper's findings.
+package simcluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/wmm"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// Kind selects the system under test.
+type Kind int
+
+// Systems.
+const (
+	DataFlower Kind = iota
+	DataFlowerNonAware
+	FaaSFlow
+	SONIC
+	StateMachine
+)
+
+// String names the system.
+func (k Kind) String() string {
+	switch k {
+	case DataFlower:
+		return "DataFlower"
+	case DataFlowerNonAware:
+		return "DataFlower-Non-aware"
+	case FaaSFlow:
+		return "FaaSFlow"
+	case SONIC:
+		return "SONIC"
+	case StateMachine:
+		return "StateMachine"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Kind    Kind
+	Profile *workloads.Profile
+	// Colocated lists additional workflows deployed on the same cluster
+	// (§9.8). Function names must be globally unique.
+	Colocated []*workloads.Profile
+
+	// Workers is the number of worker nodes (default 3, as §9.1).
+	Workers int
+	// SingleNode forces all functions onto one worker (§9.4 setup).
+	SingleNode bool
+	// MemMB is the container memory spec (default 128; §9.7 scales it).
+	MemMB int
+	// MaxContainersPerFn bounds scale-out per function (default 40).
+	MaxContainersPerFn int
+
+	// NodeNICBps is each worker's NIC bandwidth (default 1 Gbit/s).
+	NodeNICBps float64
+	// StorageBps is the backend storage node's aggregate bandwidth
+	// (default 1 Gbit/s shared by all clients — the control-flow choke
+	// point).
+	StorageBps float64
+	// StorageLatency is the per-operation storage access latency.
+	StorageLatency time.Duration
+	// DiskBps is host-local SSD bandwidth (SONIC's data path).
+	DiskBps float64
+
+	// ColdStart is the container cold-start delay.
+	ColdStart time.Duration
+	// Alpha is Eq. 1's loss factor.
+	Alpha float64
+	// SinkTTL is the Wait-Match Memory passive-expire TTL.
+	SinkTTL time.Duration
+
+	// RequestTimeout marks a request failed if exceeded (missing points in
+	// the paper's figures).
+	RequestTimeout time.Duration
+
+	// Seed drives arrivals and any tie-breaking randomness.
+	Seed int64
+	// CollectTrace enables the event log (needed by Fig. 2(c)/13).
+	CollectTrace bool
+	// PrewarmOnArrival enables the paper's §10 future-work policy: when a
+	// request arrives, warm one container for every function of its
+	// workflow whose pool is still empty, because the data-flow graph
+	// guarantees their input data is coming. Cuts the cold-start chain on
+	// first/bursty requests.
+	PrewarmOnArrival bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 3
+	}
+	if c.MemMB == 0 {
+		c.MemMB = 128
+	}
+	if c.MaxContainersPerFn == 0 {
+		c.MaxContainersPerFn = 40
+	}
+	if c.NodeNICBps == 0 {
+		c.NodeNICBps = 125e6 // 1 Gbit/s
+	}
+	if c.StorageBps == 0 {
+		c.StorageBps = 125e6
+	}
+	if c.StorageLatency == 0 {
+		c.StorageLatency = 3 * time.Millisecond
+	}
+	if c.DiskBps == 0 {
+		c.DiskBps = 500e6
+	}
+	if c.ColdStart == 0 {
+		c.ColdStart = 400 * time.Millisecond
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.1
+	}
+	if c.SinkTTL == 0 {
+		c.SinkTTL = 60 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// containerBps returns the per-container bandwidth for the spec (40 Mbit/s
+// per 128 MB).
+func (c Config) containerBps() float64 {
+	return float64(c.MemMB) / 128 * 5e6
+}
+
+// Per-system control-plane triggering overheads, calibrated to Fig. 2(c)
+// and Fig. 13.
+const (
+	dfTriggerDelay    = 1500 * time.Microsecond
+	ffTriggerDelay    = 14 * time.Millisecond
+	sonicTriggerDelay = 19 * time.Millisecond
+	smTriggerDelay    = 63 * time.Millisecond
+	localPipeDelay    = 300 * time.Microsecond
+	remotePipeDelay   = 1200 * time.Microsecond
+	socketDelay       = 400 * time.Microsecond
+	diskOpDelay       = 1 * time.Millisecond
+	cacheReadDelay    = 500 * time.Microsecond
+)
+
+// smallData is the socket fast-path threshold (§7).
+const smallData = 16 << 10
+
+// FnStat aggregates per-function computation and communication time.
+type FnStat struct {
+	CompSec float64
+	CommSec float64
+	Count   int64
+}
+
+// Result carries everything the experiments read out of a run.
+type Result struct {
+	System    string
+	Benchmark string
+
+	Latencies *metrics.Sample
+	Completed int64
+	Failed    int64
+	// SimDuration is the virtual time at which the run ended.
+	SimDuration time.Duration
+	// ThroughputRPM is completed requests per simulated minute over the
+	// measurement window.
+	ThroughputRPM float64
+	// MemGBs is the container-memory integral over the run.
+	MemGBs float64
+	// MemGBsPerReq normalizes MemGBs by completed requests.
+	MemGBsPerReq float64
+	// CacheMBsPerReq is the host-side intermediate-data cache integral per
+	// request (Fig. 14).
+	CacheMBsPerReq float64
+	// CommByFn/CompByFn break the per-function time down (Fig. 2(a)).
+	FnStats map[string]*FnStat
+	// CPUBusy and NetBusy are resource usage timelines (Fig. 2(b)): the
+	// number of containers computing / flows in flight over time.
+	CPUBusy *metrics.Timeline
+	NetBusy *metrics.Timeline
+	// Trace is non-nil when Config.CollectTrace was set.
+	Trace *trace.Log
+	// Containers is the total number of containers started.
+	Containers int64
+	// OverlapSec is the total per-container time during which a container's
+	// FLU was computing while its own network transfers were in flight —
+	// the computation/communication overlap of §3.2.2 (zero by construction
+	// for control-flow systems).
+	OverlapSec float64
+	// CPUBusySec is the total per-container compute time (normalizer for
+	// OverlapSec).
+	CPUBusySec float64
+}
+
+// node is one simulated worker.
+type node struct {
+	idx  int
+	name string
+	nic  *simnet.Endpoint
+	disk *simnet.Endpoint
+	sink *wmm.Sink // DataFlower Wait-Match Memory / FaaSFlow local cache
+	fns  map[string]*fnState
+}
+
+// fnState is the per-function scheduling state on its home node.
+type fnState struct {
+	fn      string
+	node    *node
+	workQ   *sim.Queue // *work items
+	idleQ   *sim.Queue // *container
+	started int        // containers created
+}
+
+// container is one simulated function container.
+type container struct {
+	id      string
+	fn      string
+	node    *node
+	ep      *simnet.Endpoint
+	dluQ    *sim.Queue // DataFlower: queued DLU shipments
+	dluBusy bool       // DLU daemon is mid-transfer
+	born    time.Duration
+	// cpuT and netT are this container's own busy timelines; their overlap
+	// is the §3.2.2/Fig. 2(b) metric (sequential vs overlapped phases).
+	cpuT *metrics.Timeline
+	netT *metrics.Timeline
+}
+
+// work is one function-instance execution.
+type work struct {
+	req *request
+	key dataflow.InstanceKey
+}
+
+// request is one workflow invocation in flight.
+type request struct {
+	id      string
+	seq     int64
+	prof    *workloads.Profile
+	tracker *dataflow.Tracker
+	arrived time.Duration
+	done    *sim.Event // triggered with latency (time.Duration) or error
+	// control-flow bookkeeping: remaining instances per function.
+	remaining   map[string]int
+	finished    map[string]bool
+	cfTriggered map[string]bool
+	failed      bool
+}
+
+// Sim is one configured simulation.
+type Sim struct {
+	cfg     Config
+	env     *sim.Env
+	fabric  *simnet.Fabric
+	nodes   []*node
+	storage *simnet.Endpoint
+	user    *simnet.Endpoint
+	routing map[string]*node
+	profOf  map[string]*workloads.Profile
+	profs   []*workloads.Profile
+
+	fluAvg map[string]*avgTracker
+
+	log         *trace.Log
+	memInt      *metrics.Integral
+	cpuBusy     *metrics.Timeline
+	netBusy     *metrics.Timeline
+	fnStats     map[string]*FnStat
+	prewarms    int64
+	ctrs        []*container
+	warmupSeq   int64
+	latByWf     map[string]*metrics.Sample
+	completed   int64
+	failed      int64
+	latencies   *metrics.Sample
+	completions []time.Duration
+	reqSeq      int64
+	containers  int64
+}
+
+type avgTracker struct {
+	total time.Duration
+	n     int64
+}
+
+func (a *avgTracker) add(d time.Duration) { a.total += d; a.n++ }
+func (a *avgTracker) avg() time.Duration {
+	if a.n == 0 {
+		return 0
+	}
+	return a.total / time.Duration(a.n)
+}
+
+// New builds a simulation for the config.
+func New(cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	if cfg.Profile == nil {
+		panic("simcluster: Config.Profile required")
+	}
+	env := sim.NewEnv(cfg.Seed)
+	fab := simnet.NewFabric(env)
+	s := &Sim{
+		cfg:       cfg,
+		env:       env,
+		fabric:    fab,
+		storage:   fab.NewEndpoint("storage", cfg.StorageBps),
+		user:      fab.NewEndpoint("user", 0),
+		routing:   make(map[string]*node),
+		profOf:    make(map[string]*workloads.Profile),
+		fluAvg:    make(map[string]*avgTracker),
+		memInt:    metrics.NewIntegral(),
+		cpuBusy:   metrics.NewTimeline(),
+		netBusy:   metrics.NewTimeline(),
+		fnStats:   make(map[string]*FnStat),
+		latencies: metrics.NewSample(),
+		latByWf:   make(map[string]*metrics.Sample),
+	}
+	if cfg.CollectTrace {
+		s.log = trace.NewLog()
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		n := &node{
+			idx:  i,
+			name: fmt.Sprintf("w%d", i+1),
+			nic:  fab.NewEndpoint(fmt.Sprintf("w%d-nic", i+1), cfg.NodeNICBps),
+			disk: fab.NewEndpoint(fmt.Sprintf("w%d-disk", i+1), cfg.DiskBps),
+			sink: wmm.NewSink(wmm.Options{
+				TTL:              cfg.SinkTTL,
+				DisableProactive: cfg.Kind == FaaSFlow || cfg.Kind == SONIC || cfg.Kind == StateMachine,
+			}),
+			fns: make(map[string]*fnState),
+		}
+		s.nodes = append(s.nodes, n)
+	}
+	// Placement: round-robin in declaration order (or single node).
+	s.profs = append(s.profs, cfg.Profile)
+	s.profs = append(s.profs, cfg.Colocated...)
+	slot := 0
+	for _, prof := range s.profs {
+		for _, f := range prof.Workflow.Functions {
+			if _, dup := s.routing[f.Name]; dup {
+				panic(fmt.Sprintf("simcluster: duplicate function name %q across colocated workflows", f.Name))
+			}
+			var n *node
+			if cfg.SingleNode {
+				n = s.nodes[0]
+			} else {
+				n = s.nodes[slot%len(s.nodes)]
+			}
+			slot++
+			s.routing[f.Name] = n
+			s.profOf[f.Name] = prof
+			fs := &fnState{
+				fn:    f.Name,
+				node:  n,
+				workQ: sim.NewQueue(env, 0),
+				idleQ: sim.NewQueue(env, 0),
+			}
+			n.fns[f.Name] = fs
+			s.fluAvg[f.Name] = &avgTracker{}
+			s.fnStats[f.Name] = &FnStat{}
+			env.Go("dispatch-"+f.Name, func(p *sim.Proc) { s.dispatcher(p, fs) })
+		}
+	}
+	return s
+}
+
+// execTime scales the function's reference execution time by container size.
+func (s *Sim) execTime(fn string) time.Duration {
+	ref := s.profOf[fn].ExecOf(fn)
+	return time.Duration(float64(ref) * 128 / float64(s.cfg.MemMB))
+}
+
+// Env exposes the simulation environment (experiments schedule arrivals).
+func (s *Sim) Env() *sim.Env { return s.env }
+
+// LatencyOf returns the latency sample of one co-located workflow by
+// benchmark name (empty sample if it never completed a request).
+func (s *Sim) LatencyOf(name string) *metrics.Sample {
+	if l, ok := s.latByWf[name]; ok {
+		return l
+	}
+	return metrics.NewSample()
+}
+
+// scaleOutDelay is how long an invocation waits for a warm container before
+// the platform cold-starts a new one. Warm reuse is always preferred: this
+// is what makes DataFlower's Callstack blocking an effective scaling signal
+// (a blocked FLU forces waits, waits force scale-out), while without it the
+// platform sees idle FLUs and keeps funnelling work into backlogged DLUs.
+const scaleOutDelay = 50 * time.Millisecond
+
+// dispatcher matches work items with idle containers, scaling out up to the
+// per-function cap after scaleOutDelay of waiting.
+func (s *Sim) dispatcher(p *sim.Proc, fs *fnState) {
+	for {
+		wi, ok := p.Get(fs.workQ)
+		if !ok {
+			return
+		}
+		w := wi.(*work)
+		var c *container
+		if ci, ok := fs.idleQ.TryGet(); ok {
+			c = ci.(*container)
+		} else if fs.started >= s.cfg.MaxContainersPerFn {
+			ci, ok := p.Get(fs.idleQ)
+			if !ok {
+				return
+			}
+			c = ci.(*container)
+		} else if fs.workQ.Len()+1 > fs.started {
+			// Concurrency-based scale-out: more invocations in flight than
+			// containers. This is the standard serverless reaction to FLU
+			// (compute) demand; DLU (transfer) demand is invisible to it.
+			c = s.coldStart(p, fs)
+		} else {
+			ci, got, timedOut := p.GetTimeout(fs.idleQ, scaleOutDelay)
+			switch {
+			case got:
+				c = ci.(*container)
+			case timedOut:
+				c = s.coldStart(p, fs)
+			default:
+				return // queue closed
+			}
+		}
+		wi2, ci2 := w, c
+		s.env.Go("exec-"+fs.fn, func(ep *sim.Proc) {
+			s.execute(ep, ci2, wi2)
+			fs.idleQ.TryPut(ci2)
+		})
+	}
+}
+
+// coldStart creates a container (charging the cold-start delay to the
+// dispatcher, which stalls subsequent triggers of the same function — the
+// serverless reality that makes prewarming valuable).
+func (s *Sim) coldStart(p *sim.Proc, fs *fnState) *container {
+	fs.started++
+	s.containers++
+	s.memInt.AddDelta(s.env.Now(), float64(s.cfg.MemMB)/1024)
+	p.Sleep(s.cfg.ColdStart)
+	c := &container{
+		id:   fmt.Sprintf("%s/%s-%d", fs.node.name, fs.fn, fs.started),
+		fn:   fs.fn,
+		node: fs.node,
+		ep:   s.fabric.NewEndpoint(fmt.Sprintf("%s-ep", fs.fn), s.cfg.containerBps()),
+		dluQ: sim.NewQueue(s.env, 0),
+		born: s.env.Now(),
+		cpuT: metrics.NewTimeline(),
+		netT: metrics.NewTimeline(),
+	}
+	s.ctrs = append(s.ctrs, c)
+	if s.kindIsDataflower() {
+		s.env.Go("dlu-"+c.id, func(dp *sim.Proc) { s.dluDaemon(dp, c) })
+	}
+	return c
+}
+
+// prewarm starts an extra container in the background in response to a
+// pressure notification from a DLU.
+func (s *Sim) prewarm(fs *fnState) {
+	if fs.started >= s.cfg.MaxContainersPerFn {
+		return
+	}
+	s.prewarms++
+	fs.started++
+	s.containers++
+	s.memInt.AddDelta(s.env.Now(), float64(s.cfg.MemMB)/1024)
+	s.env.Go("prewarm-"+fs.fn, func(p *sim.Proc) {
+		p.Sleep(s.cfg.ColdStart)
+		c := &container{
+			id:   fmt.Sprintf("%s/%s-pw%d", fs.node.name, fs.fn, fs.started),
+			fn:   fs.fn,
+			node: fs.node,
+			ep:   s.fabric.NewEndpoint(fmt.Sprintf("%s-ep", fs.fn), s.cfg.containerBps()),
+			dluQ: sim.NewQueue(s.env, 0),
+			born: s.env.Now(),
+			cpuT: metrics.NewTimeline(),
+			netT: metrics.NewTimeline(),
+		}
+		s.ctrs = append(s.ctrs, c)
+		if s.kindIsDataflower() {
+			s.env.Go("dlu-"+c.id, func(dp *sim.Proc) { s.dluDaemon(dp, c) })
+		}
+		fs.idleQ.TryPut(c)
+	})
+}
+
+func (s *Sim) kindIsDataflower() bool {
+	return s.cfg.Kind == DataFlower || s.cfg.Kind == DataFlowerNonAware
+}
+
+// traceEvent appends to the log when tracing is on.
+func (s *Sim) traceEvent(kind trace.Kind, req *request, fn string, idx int, note string) {
+	if s.log == nil {
+		return
+	}
+	s.log.Append(trace.Event{At: s.env.Now(), Kind: kind, ReqID: req.id, Fn: fn, Idx: idx, Note: note})
+}
+
+// newRequest creates the bookkeeping for one invocation of prof.
+func (s *Sim) newRequest(prof *workloads.Profile) *request {
+	s.reqSeq++
+	req := &request{
+		id:        fmt.Sprintf("r%d", s.reqSeq),
+		seq:       s.reqSeq,
+		prof:      prof,
+		tracker:   dataflow.NewTracker(prof.Workflow, fmt.Sprintf("r%d", s.reqSeq)),
+		arrived:   s.env.Now(),
+		done:      sim.NewEvent(s.env),
+		remaining: make(map[string]int),
+		finished:  make(map[string]bool),
+	}
+	for _, f := range prof.Workflow.Functions {
+		req.remaining[f.Name] = s.instancesOf(f.Name)
+	}
+	return req
+}
+
+// instancesOf returns the instance count of fn under the static profile
+// (control-flow systems know the FOREACH degree from the definition).
+func (s *Sim) instancesOf(fn string) int {
+	prof := s.profOf[fn]
+	for _, e := range prof.Workflow.Edges() {
+		if e.To == fn && e.Kind == workflow.Foreach {
+			return prof.Fanout
+		}
+	}
+	return 1
+}
+
+// complete finalizes a request.
+func (s *Sim) complete(req *request) {
+	if req.done.Triggered() {
+		return
+	}
+	lat := s.env.Now() - req.arrived
+	s.completed++
+	if req.seq > s.warmupSeq {
+		s.latencies.AddDuration(lat)
+	}
+	wfLat := s.latByWf[req.prof.Name]
+	if wfLat == nil {
+		wfLat = metrics.NewSample()
+		s.latByWf[req.prof.Name] = wfLat
+	}
+	wfLat.AddDuration(lat)
+	s.recordCompletion(s.env.Now())
+	s.traceEvent(trace.ReqCompleted, req, "", 0, "")
+	req.done.Trigger(lat)
+	for _, n := range s.nodes {
+		n.sink.ReleaseRequest(s.env.Now(), req.id)
+	}
+}
+
+// fail finalizes a request as failed (timeout).
+func (s *Sim) fail(req *request) {
+	if req.done.Triggered() {
+		return
+	}
+	req.failed = true
+	s.failed++
+	req.done.Trigger(fmt.Errorf("request %s timed out", req.id))
+	for _, n := range s.nodes {
+		n.sink.ReleaseRequest(s.env.Now(), req.id)
+	}
+}
+
+// noteComp charges compute seconds to fn and the CPU timeline.
+func (s *Sim) noteComp(fn string, d time.Duration) {
+	st := s.fnStats[fn]
+	st.CompSec += d.Seconds()
+	st.Count++
+}
+
+// noteComm charges communication seconds to fn.
+func (s *Sim) noteComm(fn string, d time.Duration) {
+	s.fnStats[fn].CommSec += d.Seconds()
+}
+
+// cpuDelta adjusts the busy-CPU timeline.
+func (s *Sim) cpuDelta(d float64) { s.cpuBusy.AddDelta(s.env.Now(), d) }
+
+// netDelta adjusts the busy-network timeline.
+func (s *Sim) netDelta(d float64) { s.netBusy.AddDelta(s.env.Now(), d) }
+
+// compute charges an instance's execution time against the container.
+func (s *Sim) compute(p *sim.Proc, c *container, fn string) time.Duration {
+	d := s.execTime(fn)
+	s.cpuDelta(1)
+	if c != nil {
+		c.cpuT.AddDelta(s.env.Now(), 1)
+	}
+	p.Sleep(d)
+	s.cpuDelta(-1)
+	if c != nil {
+		c.cpuT.AddDelta(s.env.Now(), -1)
+	}
+	s.noteComp(fn, d)
+	return d
+}
+
+// transfer moves size bytes across endpoints, charging the network
+// timeline (and the owning container's, when given) and returning the
+// elapsed transfer time.
+func (s *Sim) transfer(p *sim.Proc, c *container, size int64, eps ...*simnet.Endpoint) time.Duration {
+	start := s.env.Now()
+	s.netDelta(1)
+	if c != nil {
+		c.netT.AddDelta(s.env.Now(), 1)
+	}
+	s.fabric.Transfer(p, size, eps...)
+	s.netDelta(-1)
+	if c != nil {
+		c.netT.AddDelta(s.env.Now(), -1)
+	}
+	return s.env.Now() - start
+}
+
+// outputValues builds the emitted values of one output per the profile.
+func (s *Sim) outputValues(fn, output string, kind workflow.EdgeKind) []dataflow.Value {
+	prof := s.profOf[fn]
+	size := prof.SizeOf(fn, output)
+	if kind == workflow.Foreach {
+		vals := make([]dataflow.Value, prof.Fanout)
+		for i := range vals {
+			vals[i] = dataflow.Value{Size: size}
+		}
+		return vals
+	}
+	return []dataflow.Value{{Size: size}}
+}

@@ -1,0 +1,179 @@
+// Package storage is the backend storage substitute for the runtime plane:
+// the CouchDB service that control-flow systems (FaaSFlow and the central
+// orchestrator baseline) use to persist intermediate data between functions.
+//
+// The store is an in-memory key-value service with a fixed per-operation
+// access latency and an aggregate bandwidth limiter modelling the storage
+// node's NIC — the shared bottleneck that makes the control-flow paradigm's
+// double data transfer expensive under load.
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/pipe"
+)
+
+// Options configures a Store.
+type Options struct {
+	// AccessLatency is charged on every Put and Get (request round trip).
+	AccessLatency time.Duration
+	// BandwidthBytesPerSec caps the aggregate transfer rate of the storage
+	// node; <= 0 means unlimited.
+	BandwidthBytesPerSec float64
+	// Clock paces latency and bandwidth; defaults to the wall clock.
+	Clock clock.Clock
+}
+
+// Stats are cumulative store counters.
+type Stats struct {
+	Puts     int64
+	Gets     int64
+	Deletes  int64
+	Misses   int64
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Store is the in-memory backend storage service.
+type Store struct {
+	clk     clock.Clock
+	latency time.Duration
+	limiter *pipe.Limiter
+
+	mu    sync.Mutex
+	data  map[string][]byte
+	stats Stats
+	bytes int64
+	peak  int64
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewWall()
+	}
+	var lim *pipe.Limiter
+	if opts.BandwidthBytesPerSec > 0 {
+		lim = pipe.NewLimiter(clk, opts.BandwidthBytesPerSec)
+	}
+	return &Store{
+		clk:     clk,
+		latency: opts.AccessLatency,
+		limiter: lim,
+		data:    make(map[string][]byte),
+	}
+}
+
+// Key builds the canonical object key for intermediate data.
+func Key(reqID, fn, data string) string {
+	return fmt.Sprintf("%s/%s/%s", reqID, fn, data)
+}
+
+// Put stores value under key, charging latency and bandwidth.
+func (s *Store) Put(key string, value []byte) {
+	if s.latency > 0 {
+		s.clk.Sleep(s.latency)
+	}
+	s.limiter.Take(int64(len(value)))
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.mu.Lock()
+	if old, ok := s.data[key]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.data[key] = cp
+	s.bytes += int64(len(cp))
+	if s.bytes > s.peak {
+		s.peak = s.bytes
+	}
+	s.stats.Puts++
+	s.stats.BytesIn += int64(len(cp))
+	s.mu.Unlock()
+}
+
+// Get fetches the value under key, charging latency and bandwidth. ok is
+// false when the key does not exist (no bandwidth charged).
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s.latency > 0 {
+		s.clk.Sleep(s.latency)
+	}
+	s.mu.Lock()
+	val, ok := s.data[key]
+	if ok {
+		s.stats.Gets++
+		s.stats.BytesOut += int64(len(val))
+	} else {
+		s.stats.Misses++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	s.limiter.Take(int64(len(val)))
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	return cp, true
+}
+
+// Delete removes key, returning whether it existed.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	val, ok := s.data[key]
+	if ok {
+		s.bytes -= int64(len(val))
+		delete(s.data, key)
+		s.stats.Deletes++
+	}
+	return ok
+}
+
+// DeletePrefix removes every key with the given prefix (end-of-request
+// cleanup) and returns the number removed.
+func (s *Store) DeletePrefix(prefix string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k, v := range s.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			s.bytes -= int64(len(v))
+			delete(s.data, k)
+			n++
+		}
+	}
+	s.stats.Deletes += int64(n)
+	return n
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Bytes returns the current stored byte count.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// PeakBytes returns the maximum stored byte count observed.
+func (s *Store) PeakBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(Options{})
+	s.Put("k", []byte("hello"))
+	got, ok := s.Get("k")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("get = %q %v", got, ok)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s := New(Options{})
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("miss returned ok")
+	}
+	if s.Stats().Misses != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New(Options{})
+	s.Put("k", []byte("abc"))
+	got, _ := s.Get("k")
+	got[0] = 'X'
+	again, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("internal buffer exposed")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := New(Options{})
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	got, _ := s.Get("k")
+	if string(got) != "abc" {
+		t.Fatal("input buffer aliased")
+	}
+}
+
+func TestOverwriteAccounting(t *testing.T) {
+	s := New(Options{})
+	s.Put("k", make([]byte, 100))
+	s.Put("k", make([]byte, 40))
+	if s.Bytes() != 40 {
+		t.Fatalf("bytes = %d, want 40", s.Bytes())
+	}
+	if s.PeakBytes() != 100 {
+		t.Fatalf("peak = %d, want 100", s.PeakBytes())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(Options{})
+	s.Put("k", []byte("x"))
+	if !s.Delete("k") {
+		t.Fatal("delete failed")
+	}
+	if s.Delete("k") {
+		t.Fatal("double delete succeeded")
+	}
+	if s.Bytes() != 0 || s.Len() != 0 {
+		t.Fatal("accounting broken after delete")
+	}
+}
+
+func TestDeletePrefix(t *testing.T) {
+	s := New(Options{})
+	s.Put(Key("r1", "f", "a"), []byte("1"))
+	s.Put(Key("r1", "g", "b"), []byte("2"))
+	s.Put(Key("r2", "f", "a"), []byte("3"))
+	if n := s.DeletePrefix("r1/"); n != 2 {
+		t.Fatalf("deleted %d, want 2", n)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	if _, ok := s.Get(Key("r2", "f", "a")); !ok {
+		t.Fatal("r2 data removed")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key("r", "f", "d") != "r/f/d" {
+		t.Fatalf("key = %q", Key("r", "f", "d"))
+	}
+}
+
+func TestAccessLatencyCharged(t *testing.T) {
+	s := New(Options{AccessLatency: 30 * time.Millisecond})
+	start := time.Now()
+	s.Put("k", []byte("x"))
+	s.Get("k")
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("latency not charged on put+get")
+	}
+}
+
+func TestBandwidthCharged(t *testing.T) {
+	s := New(Options{BandwidthBytesPerSec: 1 << 20}) // 1 MB/s
+	start := time.Now()
+	s.Put("k", make([]byte, 100<<10)) // 100 KB -> ~0.1s
+	if time.Since(start) < 80*time.Millisecond {
+		t.Fatal("bandwidth not charged")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New(Options{})
+	s.Put("a", make([]byte, 10))
+	s.Get("a")
+	s.Get("b")
+	s.Delete("a")
+	st := s.Stats()
+	if st.Puts != 1 || st.Gets != 1 || st.Misses != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesIn != 10 || st.BytesOut != 10 {
+		t.Fatalf("bytes = %+v", st)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := New(Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d-%d", g, i)
+				s.Put(key, []byte{byte(i)})
+				got, ok := s.Get(key)
+				if !ok || got[0] != byte(i) {
+					t.Errorf("lost %s", key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

@@ -1,0 +1,41 @@
+package wmm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+)
+
+// BenchmarkPutGet measures the multi-level index hot path.
+func BenchmarkPutGet(b *testing.B) {
+	s := NewSink(Options{TTL: time.Minute})
+	v := dataflow.Value{Size: 1024}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key{ReqID: fmt.Sprintf("r%d", i%64), Fn: "f", Data: fmt.Sprintf("d%d", i)}
+		s.Put(time.Duration(i), k, v, 1)
+		if _, _, ok := s.Get(time.Duration(i), k); !ok {
+			b.Fatal("lost datum")
+		}
+	}
+}
+
+// BenchmarkExpireSweep measures the passive-expire scan over a loaded sink.
+func BenchmarkExpireSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := NewSink(Options{TTL: time.Millisecond})
+		for j := 0; j < 1000; j++ {
+			s.Put(0, Key{ReqID: "r", Fn: "f", Data: fmt.Sprintf("d%d", j)},
+				dataflow.Value{Size: 128}, 1)
+		}
+		b.StartTimer()
+		if n := s.ExpireSweep(time.Second); n != 1000 {
+			b.Fatalf("expired %d", n)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package wmm implements the Wait-Match Memory: the per-node data sink of
+// DataFlower's host-container collaborative communication mechanism (§7).
+//
+// The sink temporarily caches a function's input data before the function is
+// triggered, indexed by the multi-level key (RequestID, FunctionName,
+// DataName) to keep lookups cheap in a large sink. Two policies bound its
+// memory footprint:
+//
+//   - Proactive release: every entry knows how many destination FLUs will
+//     consume it; once the last consumer has fetched the data the entry is
+//     dropped immediately (control-flow caches such as FaaSFlow can only
+//     drop at request completion because they lack data-dependency
+//     knowledge).
+//   - Passive expire: entries carry a TTL; on expiry they are persisted to
+//     the function-exclusive disk (modelled as a second tier) and evicted
+//     from memory. A later Get is served from disk and reports it, so
+//     callers can charge the slower access.
+//
+// Timestamps are explicit time.Duration values so the same implementation
+// serves both the wall-clock runtime plane and the virtual-time simulation
+// plane. The sink is safe for concurrent use.
+package wmm
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+)
+
+// Key is the multi-level index of one datum.
+type Key struct {
+	ReqID string
+	Fn    string // destination function
+	Data  string // data name (input slot, possibly instance-qualified)
+}
+
+// Tier identifies where a Get was served from.
+type Tier int
+
+// Tiers.
+const (
+	Miss Tier = iota
+	Memory
+	Disk
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case Memory:
+		return "memory"
+	case Disk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
+// Options configures a Sink.
+type Options struct {
+	// TTL is the passive-expire timeout. Zero disables passive expiry.
+	TTL time.Duration
+	// DisableProactive turns off proactive release (for ablations).
+	DisableProactive bool
+}
+
+// Stats are cumulative sink counters.
+type Stats struct {
+	Puts              int64
+	MemHits           int64
+	DiskHits          int64
+	Misses            int64
+	ProactiveReleases int64
+	Expirations       int64
+	PeakMemBytes      int64
+}
+
+type entry struct {
+	val       dataflow.Value
+	remaining int // consumers still to fetch
+	expiresAt time.Duration
+	hasTTL    bool
+}
+
+// Sink is one node's Wait-Match Memory plus its spill tier.
+type Sink struct {
+	mu    sync.Mutex
+	opts  Options
+	mem   map[string]map[string]map[string]*entry // reqID -> fn -> data
+	disk  map[Key]*entry
+	stats Stats
+
+	memBytes  int64
+	diskBytes int64
+	memInt    *metrics.Integral // MB·s of memory occupancy
+}
+
+// NewSink returns an empty sink.
+func NewSink(opts Options) *Sink {
+	return &Sink{
+		opts:   opts,
+		mem:    make(map[string]map[string]map[string]*entry),
+		disk:   make(map[Key]*entry),
+		memInt: metrics.NewIntegral(),
+	}
+}
+
+// Put caches v for key at virtual/wall time at. consumers is the number of
+// destination FLUs that will fetch the datum (>=1); once they all have, the
+// entry is proactively released. Re-putting an existing key replaces it.
+func (s *Sink) Put(at time.Duration, key Key, v dataflow.Value, consumers int) {
+	if consumers < 1 {
+		consumers = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(at)
+	s.stats.Puts++
+	fnMap := s.mem[key.ReqID]
+	if fnMap == nil {
+		fnMap = make(map[string]map[string]*entry)
+		s.mem[key.ReqID] = fnMap
+	}
+	dataMap := fnMap[key.Fn]
+	if dataMap == nil {
+		dataMap = make(map[string]*entry)
+		fnMap[key.Fn] = dataMap
+	}
+	if old, ok := dataMap[key.Data]; ok {
+		s.adjustMem(at, -old.val.Size)
+	}
+	e := &entry{val: v, remaining: consumers}
+	if s.opts.TTL > 0 {
+		e.expiresAt = at + s.opts.TTL
+		e.hasTTL = true
+	}
+	dataMap[key.Data] = e
+	s.adjustMem(at, v.Size)
+}
+
+// Get fetches the datum for key, counting one consumer. It returns the
+// value, the tier it was served from, and whether it was found.
+func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(at)
+	if dataMap := s.fnMap(key); dataMap != nil {
+		if e, ok := dataMap[key.Data]; ok {
+			s.stats.MemHits++
+			e.remaining--
+			if e.remaining <= 0 && !s.opts.DisableProactive {
+				delete(dataMap, key.Data)
+				s.adjustMem(at, -e.val.Size)
+				s.stats.ProactiveReleases++
+				s.gcEmpty(key)
+			}
+			return e.val, Memory, true
+		}
+	}
+	if e, ok := s.disk[key]; ok {
+		s.stats.DiskHits++
+		e.remaining--
+		if e.remaining <= 0 && !s.opts.DisableProactive {
+			delete(s.disk, key)
+			s.diskBytes -= e.val.Size
+		}
+		return e.val, Disk, true
+	}
+	s.stats.Misses++
+	return dataflow.Value{}, Miss, false
+}
+
+// Peek returns the value without consuming it.
+func (s *Sink) Peek(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(at)
+	if dataMap := s.fnMap(key); dataMap != nil {
+		if e, ok := dataMap[key.Data]; ok {
+			return e.val, Memory, true
+		}
+	}
+	if e, ok := s.disk[key]; ok {
+		return e.val, Disk, true
+	}
+	return dataflow.Value{}, Miss, false
+}
+
+// ReleaseRequest drops every entry of a request from both tiers (end-of-
+// request cleanup; the control-flow baselines use this as their only release
+// point).
+func (s *Sink) ReleaseRequest(at time.Duration, reqID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fnMap, ok := s.mem[reqID]; ok {
+		for _, dataMap := range fnMap {
+			for _, e := range dataMap {
+				s.adjustMem(at, -e.val.Size)
+			}
+		}
+		delete(s.mem, reqID)
+	}
+	for k, e := range s.disk {
+		if k.ReqID == reqID {
+			s.diskBytes -= e.val.Size
+			delete(s.disk, k)
+		}
+	}
+}
+
+// ExpireSweep runs the passive-expire policy at time at and returns how many
+// entries were spilled to disk.
+func (s *Sink) ExpireSweep(at time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expireLocked(at)
+}
+
+// expireLocked moves TTL-exceeded entries from memory to the spill tier.
+func (s *Sink) expireLocked(at time.Duration) int {
+	if s.opts.TTL <= 0 {
+		return 0
+	}
+	n := 0
+	for reqID, fnMap := range s.mem {
+		for fn, dataMap := range fnMap {
+			for data, e := range dataMap {
+				if !e.hasTTL || e.expiresAt > at {
+					continue
+				}
+				delete(dataMap, data)
+				s.adjustMem(at, -e.val.Size)
+				s.disk[Key{ReqID: reqID, Fn: fn, Data: data}] = e
+				s.diskBytes += e.val.Size
+				s.stats.Expirations++
+				n++
+			}
+			if len(dataMap) == 0 {
+				delete(fnMap, fn)
+			}
+		}
+		if len(fnMap) == 0 {
+			delete(s.mem, reqID)
+		}
+	}
+	return n
+}
+
+func (s *Sink) fnMap(key Key) map[string]*entry {
+	fnMap := s.mem[key.ReqID]
+	if fnMap == nil {
+		return nil
+	}
+	return fnMap[key.Fn]
+}
+
+func (s *Sink) gcEmpty(key Key) {
+	fnMap := s.mem[key.ReqID]
+	if fnMap == nil {
+		return
+	}
+	if dataMap := fnMap[key.Fn]; dataMap != nil && len(dataMap) == 0 {
+		delete(fnMap, key.Fn)
+	}
+	if len(fnMap) == 0 {
+		delete(s.mem, key.ReqID)
+	}
+}
+
+func (s *Sink) adjustMem(at time.Duration, delta int64) {
+	s.memBytes += delta
+	if s.memBytes > s.stats.PeakMemBytes {
+		s.stats.PeakMemBytes = s.memBytes
+	}
+	s.memInt.Set(at, metrics.BytesToMB(s.memBytes))
+}
+
+// MemBytes returns current memory-tier occupancy in bytes.
+func (s *Sink) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memBytes
+}
+
+// DiskBytes returns current spill-tier occupancy in bytes.
+func (s *Sink) DiskBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskBytes
+}
+
+// MemIntegralMBs returns the memory occupancy integral in MB·s up to at.
+func (s *Sink) MemIntegralMBs(at time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memInt.Finish(at)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Sink) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len returns the number of memory-tier entries (for tests).
+func (s *Sink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, fnMap := range s.mem {
+		for _, dataMap := range fnMap {
+			n += len(dataMap)
+		}
+	}
+	return n
+}

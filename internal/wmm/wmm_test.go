@@ -1,0 +1,258 @@
+package wmm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dataflow"
+)
+
+func v(size int64) dataflow.Value { return dataflow.Value{Size: size, Payload: size} }
+
+func k(req, fn, data string) Key { return Key{ReqID: req, Fn: fn, Data: data} }
+
+func TestPutGetMemory(t *testing.T) {
+	s := NewSink(Options{})
+	s.Put(0, k("r1", "f", "x"), v(100), 1)
+	got, tier, ok := s.Get(time.Second, k("r1", "f", "x"))
+	if !ok || tier != Memory || got.Size != 100 {
+		t.Fatalf("get = %v %v %v", got, tier, ok)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s := NewSink(Options{})
+	_, tier, ok := s.Get(0, k("r1", "f", "x"))
+	if ok || tier != Miss {
+		t.Fatalf("expected miss, got %v %v", tier, ok)
+	}
+	if s.Stats().Misses != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestProactiveReleaseSingleConsumer(t *testing.T) {
+	s := NewSink(Options{})
+	s.Put(0, k("r1", "f", "x"), v(100), 1)
+	if s.MemBytes() != 100 {
+		t.Fatalf("mem = %d", s.MemBytes())
+	}
+	s.Get(0, k("r1", "f", "x"))
+	if s.MemBytes() != 0 {
+		t.Fatalf("mem = %d after last consumer", s.MemBytes())
+	}
+	if s.Len() != 0 {
+		t.Fatal("entry not released")
+	}
+	if s.Stats().ProactiveReleases != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	// Second get misses: the data is gone.
+	if _, _, ok := s.Get(0, k("r1", "f", "x")); ok {
+		t.Fatal("released entry still served")
+	}
+}
+
+func TestProactiveReleaseMultiConsumer(t *testing.T) {
+	s := NewSink(Options{})
+	s.Put(0, k("r1", "f", "x"), v(100), 3)
+	for i := 0; i < 2; i++ {
+		if _, _, ok := s.Get(0, k("r1", "f", "x")); !ok {
+			t.Fatalf("consumer %d missed", i)
+		}
+		if s.MemBytes() != 100 {
+			t.Fatalf("released before last consumer (mem=%d)", s.MemBytes())
+		}
+	}
+	s.Get(0, k("r1", "f", "x"))
+	if s.MemBytes() != 0 {
+		t.Fatal("not released after last consumer")
+	}
+}
+
+func TestDisableProactive(t *testing.T) {
+	s := NewSink(Options{DisableProactive: true})
+	s.Put(0, k("r1", "f", "x"), v(100), 1)
+	s.Get(0, k("r1", "f", "x"))
+	if s.MemBytes() != 100 {
+		t.Fatal("proactive release ran despite being disabled")
+	}
+	s.ReleaseRequest(time.Second, "r1")
+	if s.MemBytes() != 0 {
+		t.Fatal("ReleaseRequest did not clean up")
+	}
+}
+
+func TestPassiveExpireSpillsToDisk(t *testing.T) {
+	s := NewSink(Options{TTL: 10 * time.Second})
+	s.Put(0, k("r1", "f", "x"), v(100), 1)
+	s.ExpireSweep(5 * time.Second)
+	if s.MemBytes() != 100 || s.DiskBytes() != 0 {
+		t.Fatal("expired before TTL")
+	}
+	n := s.ExpireSweep(10 * time.Second)
+	if n != 1 || s.MemBytes() != 0 || s.DiskBytes() != 100 {
+		t.Fatalf("expire: n=%d mem=%d disk=%d", n, s.MemBytes(), s.DiskBytes())
+	}
+	got, tier, ok := s.Get(11*time.Second, k("r1", "f", "x"))
+	if !ok || tier != Disk || got.Size != 100 {
+		t.Fatalf("disk get = %v %v %v", got, tier, ok)
+	}
+	if s.DiskBytes() != 0 {
+		t.Fatal("disk entry not released after last consumer")
+	}
+}
+
+func TestExpireRunsLazilyOnAccess(t *testing.T) {
+	s := NewSink(Options{TTL: time.Second})
+	s.Put(0, k("r1", "f", "x"), v(50), 1)
+	// A Put far in the future triggers the sweep implicitly.
+	s.Put(time.Minute, k("r1", "f", "y"), v(10), 1)
+	if s.DiskBytes() != 50 {
+		t.Fatalf("disk = %d, want 50 (x spilled)", s.DiskBytes())
+	}
+}
+
+func TestNoTTLNeverExpires(t *testing.T) {
+	s := NewSink(Options{})
+	s.Put(0, k("r1", "f", "x"), v(50), 1)
+	s.ExpireSweep(time.Hour)
+	if s.MemBytes() != 50 || s.DiskBytes() != 0 {
+		t.Fatal("entry expired without a TTL")
+	}
+}
+
+func TestReleaseRequestDropsBothTiers(t *testing.T) {
+	s := NewSink(Options{TTL: time.Second})
+	s.Put(0, k("r1", "f", "x"), v(50), 1)
+	s.Put(0, k("r2", "f", "x"), v(70), 1)
+	s.ExpireSweep(2 * time.Second) // both spill
+	s.Put(3*time.Second, k("r1", "f", "y"), v(20), 1)
+	s.ReleaseRequest(4*time.Second, "r1")
+	if s.DiskBytes() != 70 {
+		t.Fatalf("disk = %d, want only r2's 70", s.DiskBytes())
+	}
+	if s.MemBytes() != 0 {
+		t.Fatalf("mem = %d", s.MemBytes())
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	s := NewSink(Options{})
+	s.Put(0, k("r1", "f", "x"), v(100), 1)
+	if _, tier, ok := s.Peek(0, k("r1", "f", "x")); !ok || tier != Memory {
+		t.Fatal("peek failed")
+	}
+	if s.MemBytes() != 100 {
+		t.Fatal("peek consumed the entry")
+	}
+}
+
+func TestReplacePutAdjustsAccounting(t *testing.T) {
+	s := NewSink(Options{})
+	s.Put(0, k("r1", "f", "x"), v(100), 1)
+	s.Put(0, k("r1", "f", "x"), v(30), 1)
+	if s.MemBytes() != 30 {
+		t.Fatalf("mem = %d, want 30", s.MemBytes())
+	}
+}
+
+func TestMemIntegral(t *testing.T) {
+	s := NewSink(Options{})
+	s.Put(0, k("r1", "f", "x"), v(1<<20), 1) // 1 MB
+	s.Get(10*time.Second, k("r1", "f", "x"))
+	got := s.MemIntegralMBs(10 * time.Second)
+	if got < 9.9 || got > 10.1 {
+		t.Fatalf("integral = %v MB·s, want ~10", got)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	s := NewSink(Options{})
+	s.Put(0, k("r1", "f", "a"), v(100), 1)
+	s.Put(0, k("r1", "f", "b"), v(200), 1)
+	s.Get(0, k("r1", "f", "a"))
+	s.Get(0, k("r1", "f", "b"))
+	if s.Stats().PeakMemBytes != 300 {
+		t.Fatalf("peak = %d, want 300", s.Stats().PeakMemBytes)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewSink(Options{TTL: time.Minute})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := k(fmt.Sprintf("r%d", g), "f", fmt.Sprintf("d%d", i))
+				s.Put(time.Duration(i)*time.Millisecond, key, v(10), 1)
+				if _, _, ok := s.Get(time.Duration(i)*time.Millisecond, key); !ok {
+					t.Errorf("lost own datum %v", key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.MemBytes() != 0 {
+		t.Fatalf("mem = %d after all consumed", s.MemBytes())
+	}
+}
+
+// Property: memory accounting is exact — after any interleaving of puts and
+// full consumption, MemBytes returns to zero and never goes negative.
+func TestAccountingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSink(Options{})
+		at := time.Duration(0)
+		for i, sz := range sizes {
+			key := k("r", "f", fmt.Sprintf("d%d", i))
+			s.Put(at, key, v(int64(sz)+1), 1)
+			if s.MemBytes() < 0 {
+				return false
+			}
+			at += time.Millisecond
+		}
+		for i := range sizes {
+			key := k("r", "f", fmt.Sprintf("d%d", i))
+			if _, _, ok := s.Get(at, key); !ok {
+				return false
+			}
+		}
+		return s.MemBytes() == 0 && s.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a TTL, every entry is eventually either consumed from
+// memory, or spilled and then consumable from disk — data is never lost.
+func TestNoDataLossProperty(t *testing.T) {
+	f := func(sizes []uint8, ttlMs uint8) bool {
+		ttl := time.Duration(ttlMs%50+1) * time.Millisecond
+		s := NewSink(Options{TTL: ttl})
+		at := time.Duration(0)
+		for i := range sizes {
+			s.Put(at, k("r", "f", fmt.Sprintf("d%d", i)), v(int64(sizes[i])+1), 1)
+			at += 7 * time.Millisecond
+		}
+		at += ttl * 2
+		s.ExpireSweep(at)
+		for i := range sizes {
+			if _, _, ok := s.Get(at, k("r", "f", fmt.Sprintf("d%d", i))); !ok {
+				return false
+			}
+		}
+		return s.MemBytes() == 0 && s.DiskBytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

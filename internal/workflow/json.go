@@ -1,0 +1,60 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the edge kind as its DSL string.
+func (k EdgeKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes an edge kind from its DSL string (or a bare int for
+// backward compatibility).
+func (k *EdgeKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, perr := ParseEdgeKind(s)
+		if perr != nil {
+			return perr
+		}
+		*k = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err == nil {
+		if n < int(Normal) || n > int(List) {
+			return fmt.Errorf("workflow: edge kind %d out of range", n)
+		}
+		*k = EdgeKind(n)
+		return nil
+	}
+	return fmt.Errorf("workflow: cannot decode edge kind from %s", data)
+}
+
+// MarshalJSON encodes the workflow.
+func (w *Workflow) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Name      string      `json:"name"`
+		Functions []*Function `json:"functions"`
+	}
+	return json.Marshal(alias{Name: w.Name, Functions: w.Functions})
+}
+
+// UnmarshalJSON decodes and validates a workflow.
+func (w *Workflow) UnmarshalJSON(data []byte) error {
+	type alias struct {
+		Name      string      `json:"name"`
+		Functions []*Function `json:"functions"`
+	}
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	w.Name = a.Name
+	w.Functions = a.Functions
+	w.byName = nil
+	w.reindex()
+	return w.Validate()
+}

@@ -1,0 +1,108 @@
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genChainWorkflow builds a random valid linear workflow with optional
+// fan-out stages, driven by a seeded RNG.
+func genChainWorkflow(r *rand.Rand) *Workflow {
+	w := New(fmt.Sprintf("gen%d", r.Intn(1000)))
+	n := r.Intn(6) + 2 // 2..7 functions
+	for i := 0; i < n; i++ {
+		f := &Function{Name: fmt.Sprintf("f%d", i)}
+		in := Input{Name: "in"}
+		if i == 0 {
+			in.FromUser = true
+		}
+		// A stage following a FOREACH producer needs a matching shape; keep
+		// the chain NORMAL except one optional FOREACH/MERGE pair.
+		f.Inputs = []Input{in}
+		w.Functions = append(w.Functions, f)
+	}
+	// Wire chain.
+	for i := 0; i < n; i++ {
+		f := w.Functions[i]
+		if i == n-1 {
+			f.Outputs = []Output{{Name: "out", Dests: []Dest{{Function: UserSource}}}}
+		} else {
+			f.Outputs = []Output{{
+				Name:  "out",
+				Dests: []Dest{{Function: w.Functions[i+1].Name, Input: "in"}},
+			}}
+		}
+	}
+	// Optionally convert one interior hop into FOREACH -> MERGE -> LIST.
+	if n >= 4 && r.Intn(2) == 0 {
+		k := 1 + r.Intn(n-3) // producer index with at least 2 after it
+		w.Functions[k].Outputs[0].Kind = Foreach
+		w.Functions[k+1].Outputs[0].Kind = Merge
+		w.Functions[k+2].Inputs[0].Kind = List
+	}
+	w.byName = nil
+	w.reindex()
+	return w
+}
+
+// Property: generated workflows validate, topologically order all
+// functions, and survive a DSL round trip losslessly.
+func TestGeneratedWorkflowRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := genChainWorkflow(r)
+		if err := w.Validate(); err != nil {
+			t.Logf("seed %d: validate: %v", seed, err)
+			return false
+		}
+		order, err := w.TopoOrder()
+		if err != nil || len(order) != len(w.Functions) {
+			return false
+		}
+		text := FormatDSL(w)
+		back, err := ParseDSLString(text)
+		if err != nil {
+			t.Logf("seed %d: reparse: %v\n%s", seed, err, text)
+			return false
+		}
+		if FormatDSL(back) != text {
+			return false
+		}
+		// Graph invariants survive: same edges count, same critical path.
+		if len(back.Edges()) != len(w.Edges()) || back.CriticalPathLen() != w.CriticalPathLen() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predecessors and successors are mutually consistent on any
+// generated workflow.
+func TestPredSuccConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := genChainWorkflow(r)
+		for _, fn := range w.Functions {
+			for _, succ := range w.Successors(fn.Name) {
+				found := false
+				for _, pre := range w.Predecessors(succ) {
+					if pre == fn.Name {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,367 @@
+// Package workflow defines serverless workflows in the data-flow paradigm.
+//
+// A workflow is a set of functions connected by *data* edges (not control
+// edges): each function declares the sources of its inputs and the
+// destinations of its outputs, mirroring the declaration language of the
+// paper's Figure 7. Edge kinds express the composition patterns of
+// serverless workflow languages:
+//
+//   - Normal:  one data item flows to each destination input.
+//   - Foreach: the output is a list; element i flows to instance i of the
+//     destination function (dynamic fan-out).
+//   - Merge:   the output of every instance of this function flows into a
+//     single List input of the destination (fan-in).
+//   - Switch:  exactly one of the declared destinations receives the data,
+//     selected at run time by the producing function.
+//
+// The package provides a builder API, a text DSL parser (ParseDSL), a JSON
+// codec, structural validation and graph utilities (topological order,
+// predecessor/successor sets). The execution semantics live in
+// internal/dataflow.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeKind describes how data fans out of an output or into an input.
+type EdgeKind int
+
+// Edge kinds. The zero value is Normal.
+const (
+	Normal EdgeKind = iota
+	Foreach
+	Merge
+	Switch
+	List // input-side: collect one item from every instance of each source
+)
+
+// String returns the DSL spelling of the kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case Normal:
+		return "NORMAL"
+	case Foreach:
+		return "FOREACH"
+	case Merge:
+		return "MERGE"
+	case Switch:
+		return "SWITCH"
+	case List:
+		return "LIST"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// ParseEdgeKind converts a DSL spelling to an EdgeKind.
+func ParseEdgeKind(s string) (EdgeKind, error) {
+	switch s {
+	case "NORMAL", "normal", "":
+		return Normal, nil
+	case "FOREACH", "foreach":
+		return Foreach, nil
+	case "MERGE", "merge":
+		return Merge, nil
+	case "SWITCH", "switch":
+		return Switch, nil
+	case "LIST", "list":
+		return List, nil
+	}
+	return Normal, fmt.Errorf("workflow: unknown edge kind %q", s)
+}
+
+// UserSource is the pseudo-function representing the workflow invoker: entry
+// inputs come from it and terminal outputs flow back to it.
+const UserSource = "$USER"
+
+// Dest is one destination of an output: an input slot of a function, or the
+// user (Function == UserSource).
+type Dest struct {
+	Function string `json:"function"`        // destination function name or $USER
+	Input    string `json:"input,omitempty"` // destination input name (empty for $USER)
+}
+
+// String formats the destination as function.input.
+func (d Dest) String() string {
+	if d.Function == UserSource || d.Input == "" {
+		return d.Function
+	}
+	return d.Function + "." + d.Input
+}
+
+// Output declares one named output of a function and where it flows.
+type Output struct {
+	Name  string   `json:"name"`
+	Kind  EdgeKind `json:"kind"`
+	Dests []Dest   `json:"dests"`
+}
+
+// Input declares one named input of a function.
+type Input struct {
+	Name string   `json:"name"`
+	Kind EdgeKind `json:"kind"` // Normal (single item) or List (fan-in)
+	// FromUser marks an entry input supplied by the invoker.
+	FromUser bool `json:"fromUser,omitempty"`
+}
+
+// Function is one node of the workflow: a FLU definition with declared
+// inputs and outputs.
+type Function struct {
+	Name    string   `json:"name"`
+	Inputs  []Input  `json:"inputs"`
+	Outputs []Output `json:"outputs"`
+}
+
+// Input returns the input declaration with the given name.
+func (f *Function) Input(name string) (Input, bool) {
+	for _, in := range f.Inputs {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Input{}, false
+}
+
+// Output returns the output declaration with the given name.
+func (f *Function) Output(name string) (Output, bool) {
+	for _, out := range f.Outputs {
+		if out.Name == name {
+			return out, true
+		}
+	}
+	return Output{}, false
+}
+
+// Workflow is a named data-flow graph of functions.
+type Workflow struct {
+	Name      string      `json:"name"`
+	Functions []*Function `json:"functions"`
+
+	byName map[string]*Function
+}
+
+// New returns an empty workflow with the given name.
+func New(name string) *Workflow {
+	return &Workflow{Name: name, byName: make(map[string]*Function)}
+}
+
+// AddFunction appends a function node. It returns an error on duplicate
+// names or a name colliding with UserSource.
+func (w *Workflow) AddFunction(f *Function) error {
+	if f.Name == "" {
+		return fmt.Errorf("workflow %s: function with empty name", w.Name)
+	}
+	if f.Name == UserSource {
+		return fmt.Errorf("workflow %s: function name %s is reserved", w.Name, UserSource)
+	}
+	if w.byName == nil {
+		w.byName = make(map[string]*Function)
+	}
+	if _, dup := w.byName[f.Name]; dup {
+		return fmt.Errorf("workflow %s: duplicate function %q", w.Name, f.Name)
+	}
+	w.Functions = append(w.Functions, f)
+	w.byName[f.Name] = f
+	return nil
+}
+
+// Function returns the function with the given name.
+func (w *Workflow) Function(name string) (*Function, bool) {
+	w.reindex()
+	f, ok := w.byName[name]
+	return f, ok
+}
+
+// reindex rebuilds the name index (needed after JSON decoding).
+func (w *Workflow) reindex() {
+	if w.byName != nil && len(w.byName) == len(w.Functions) {
+		return
+	}
+	w.byName = make(map[string]*Function, len(w.Functions))
+	for _, f := range w.Functions {
+		w.byName[f.Name] = f
+	}
+}
+
+// Entries returns the functions that take at least one input from the user.
+func (w *Workflow) Entries() []*Function {
+	var out []*Function
+	for _, f := range w.Functions {
+		for _, in := range f.Inputs {
+			if in.FromUser {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Terminals returns the functions with at least one output to the user.
+func (w *Workflow) Terminals() []*Function {
+	var out []*Function
+	for _, f := range w.Functions {
+		for _, o := range f.Outputs {
+			for _, d := range o.Dests {
+				if d.Function == UserSource {
+					out = append(out, f)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Successors returns the distinct downstream function names of f, sorted.
+func (w *Workflow) Successors(name string) []string {
+	w.reindex()
+	f, ok := w.byName[name]
+	if !ok {
+		return nil
+	}
+	set := map[string]struct{}{}
+	for _, o := range f.Outputs {
+		for _, d := range o.Dests {
+			if d.Function != UserSource {
+				set[d.Function] = struct{}{}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Predecessors returns the distinct upstream function names of name, sorted.
+func (w *Workflow) Predecessors(name string) []string {
+	set := map[string]struct{}{}
+	for _, f := range w.Functions {
+		for _, o := range f.Outputs {
+			for _, d := range o.Dests {
+				if d.Function == name {
+					set[f.Name] = struct{}{}
+				}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Edge is one resolved data edge of the graph.
+type Edge struct {
+	From       string   // producing function
+	Output     string   // output name
+	Kind       EdgeKind // output kind
+	To         string   // consuming function or $USER
+	ToInput    string   // consuming input name (empty for $USER)
+	InputKind  EdgeKind // consuming input kind (Normal/List; Normal for $USER)
+	SwitchCase int      // index among the output's dests (for Switch routing)
+}
+
+// Edges returns every data edge in declaration order.
+func (w *Workflow) Edges() []Edge {
+	var out []Edge
+	w.reindex()
+	for _, f := range w.Functions {
+		for _, o := range f.Outputs {
+			for i, d := range o.Dests {
+				e := Edge{
+					From:       f.Name,
+					Output:     o.Name,
+					Kind:       o.Kind,
+					To:         d.Function,
+					ToInput:    d.Input,
+					SwitchCase: i,
+				}
+				if dst, ok := w.byName[d.Function]; ok {
+					if in, ok := dst.Input(d.Input); ok {
+						e.InputKind = in.Kind
+					}
+				}
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the function names in a topological order of the data
+// graph. It returns an error if the graph has a cycle.
+func (w *Workflow) TopoOrder() ([]string, error) {
+	w.reindex()
+	indeg := make(map[string]int, len(w.Functions))
+	for _, f := range w.Functions {
+		indeg[f.Name] = 0
+	}
+	for _, e := range w.Edges() {
+		if e.To == UserSource {
+			continue
+		}
+		if _, ok := indeg[e.To]; ok {
+			indeg[e.To]++
+		}
+	}
+	// Deterministic: seed queue in declaration order.
+	var queue []string
+	for _, f := range w.Functions {
+		if indeg[f.Name] == 0 {
+			queue = append(queue, f.Name)
+		}
+	}
+	var order []string
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		order = append(order, n)
+		for _, s := range w.Successors(n) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(w.Functions) {
+		return nil, fmt.Errorf("workflow %s: cycle detected (%d of %d functions ordered)",
+			w.Name, len(order), len(w.Functions))
+	}
+	return order, nil
+}
+
+// CriticalPathLen returns the number of functions on the longest path from
+// any entry to any terminal (a depth measure used by experiments).
+func (w *Workflow) CriticalPathLen() int {
+	order, err := w.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	depth := map[string]int{}
+	best := 0
+	for _, n := range order {
+		d := 1
+		for _, pre := range w.Predecessors(n) {
+			if depth[pre]+1 > d {
+				d = depth[pre] + 1
+			}
+		}
+		depth[n] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,317 @@
+package workflow
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildWordCount constructs the paper's Figure 7 WordCount workflow via the
+// builder API.
+func buildWordCount(t *testing.T) *Workflow {
+	t.Helper()
+	w := New("wordcount")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.AddFunction(&Function{
+		Name:   "start",
+		Inputs: []Input{{Name: "src", FromUser: true}},
+		Outputs: []Output{{
+			Name: "filelist", Kind: Foreach,
+			Dests: []Dest{{Function: "count", Input: "file"}},
+		}},
+	}))
+	must(w.AddFunction(&Function{
+		Name:   "count",
+		Inputs: []Input{{Name: "file"}},
+		Outputs: []Output{{
+			Name: "result", Kind: Merge,
+			Dests: []Dest{{Function: "merge", Input: "counts"}},
+		}},
+	}))
+	must(w.AddFunction(&Function{
+		Name:   "merge",
+		Inputs: []Input{{Name: "counts", Kind: List}},
+		Outputs: []Output{{
+			Name:  "out",
+			Dests: []Dest{{Function: UserSource}},
+		}},
+	}))
+	if err := w.Validate(); err != nil {
+		t.Fatalf("wordcount should validate: %v", err)
+	}
+	return w
+}
+
+func TestValidateWordCount(t *testing.T) {
+	buildWordCount(t)
+}
+
+func TestEntriesAndTerminals(t *testing.T) {
+	w := buildWordCount(t)
+	ent := w.Entries()
+	if len(ent) != 1 || ent[0].Name != "start" {
+		t.Fatalf("entries = %v", ent)
+	}
+	term := w.Terminals()
+	if len(term) != 1 || term[0].Name != "merge" {
+		t.Fatalf("terminals = %v", term)
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	w := buildWordCount(t)
+	if s := w.Successors("start"); len(s) != 1 || s[0] != "count" {
+		t.Fatalf("succ(start) = %v", s)
+	}
+	if p := w.Predecessors("merge"); len(p) != 1 || p[0] != "count" {
+		t.Fatalf("pred(merge) = %v", p)
+	}
+	if p := w.Predecessors("start"); len(p) != 0 {
+		t.Fatalf("pred(start) = %v", p)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	w := buildWordCount(t)
+	order, err := w.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos["start"] < pos["count"] && pos["count"] < pos["merge"]) {
+		t.Fatalf("bad topo order %v", order)
+	}
+}
+
+func TestCriticalPathLen(t *testing.T) {
+	w := buildWordCount(t)
+	if got := w.CriticalPathLen(); got != 3 {
+		t.Fatalf("critical path = %d, want 3", got)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	w := New("cyc")
+	_ = w.AddFunction(&Function{
+		Name:    "a",
+		Inputs:  []Input{{Name: "in", FromUser: true}, {Name: "loop"}},
+		Outputs: []Output{{Name: "o", Dests: []Dest{{Function: "b", Input: "in"}}}},
+	})
+	_ = w.AddFunction(&Function{
+		Name:   "b",
+		Inputs: []Input{{Name: "in"}},
+		Outputs: []Output{
+			{Name: "o", Dests: []Dest{{Function: "a", Input: "loop"}}},
+			{Name: "end", Dests: []Dest{{Function: UserSource}}},
+		},
+	})
+	if _, err := w.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := w.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Validate should report cycle, got %v", err)
+	}
+}
+
+func TestValidateCatchesUnknownDest(t *testing.T) {
+	w := New("bad")
+	_ = w.AddFunction(&Function{
+		Name:    "a",
+		Inputs:  []Input{{Name: "in", FromUser: true}},
+		Outputs: []Output{{Name: "o", Dests: []Dest{{Function: "ghost", Input: "x"}}}},
+	})
+	err := w.Validate()
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("want unknown-destination error, got %v", err)
+	}
+}
+
+func TestValidateCatchesUnfedInput(t *testing.T) {
+	w := New("bad")
+	_ = w.AddFunction(&Function{
+		Name:    "a",
+		Inputs:  []Input{{Name: "in", FromUser: true}, {Name: "orphan"}},
+		Outputs: []Output{{Name: "o", Dests: []Dest{{Function: UserSource}}}},
+	})
+	err := w.Validate()
+	if err == nil || !strings.Contains(err.Error(), "orphan") {
+		t.Fatalf("want unfed-input error, got %v", err)
+	}
+}
+
+func TestValidateCatchesMergeToNormal(t *testing.T) {
+	w := New("bad")
+	_ = w.AddFunction(&Function{
+		Name:    "a",
+		Inputs:  []Input{{Name: "in", FromUser: true}},
+		Outputs: []Output{{Name: "o", Kind: Merge, Dests: []Dest{{Function: "b", Input: "x"}}}},
+	})
+	_ = w.AddFunction(&Function{
+		Name:    "b",
+		Inputs:  []Input{{Name: "x"}}, // Normal, but fed by MERGE
+		Outputs: []Output{{Name: "o", Dests: []Dest{{Function: UserSource}}}},
+	})
+	err := w.Validate()
+	if err == nil || !strings.Contains(err.Error(), "MERGE") {
+		t.Fatalf("want merge-kind error, got %v", err)
+	}
+}
+
+func TestValidateCatchesNormalToList(t *testing.T) {
+	w := New("bad")
+	_ = w.AddFunction(&Function{
+		Name:    "a",
+		Inputs:  []Input{{Name: "in", FromUser: true}},
+		Outputs: []Output{{Name: "o", Dests: []Dest{{Function: "b", Input: "x"}}}},
+	})
+	_ = w.AddFunction(&Function{
+		Name:    "b",
+		Inputs:  []Input{{Name: "x", Kind: List}},
+		Outputs: []Output{{Name: "o", Dests: []Dest{{Function: UserSource}}}},
+	})
+	err := w.Validate()
+	if err == nil || !strings.Contains(err.Error(), "LIST") {
+		t.Fatalf("want normal-to-list error, got %v", err)
+	}
+}
+
+func TestValidateSwitchNeedsTwoDests(t *testing.T) {
+	w := New("bad")
+	_ = w.AddFunction(&Function{
+		Name:    "a",
+		Inputs:  []Input{{Name: "in", FromUser: true}},
+		Outputs: []Output{{Name: "o", Kind: Switch, Dests: []Dest{{Function: UserSource}}}},
+	})
+	err := w.Validate()
+	if err == nil || !strings.Contains(err.Error(), "SWITCH") {
+		t.Fatalf("want switch error, got %v", err)
+	}
+}
+
+func TestValidateUnreachable(t *testing.T) {
+	w := New("bad")
+	_ = w.AddFunction(&Function{
+		Name:    "a",
+		Inputs:  []Input{{Name: "in", FromUser: true}},
+		Outputs: []Output{{Name: "o", Dests: []Dest{{Function: UserSource}}}},
+	})
+	_ = w.AddFunction(&Function{
+		Name:    "island",
+		Inputs:  []Input{{Name: "x", FromUser: false, Kind: Normal}},
+		Outputs: []Output{{Name: "o", Dests: []Dest{{Function: UserSource}}}},
+	})
+	err := w.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("want unreachable error, got %v", err)
+	}
+}
+
+func TestAddFunctionDuplicate(t *testing.T) {
+	w := New("dup")
+	f := &Function{Name: "a"}
+	if err := w.AddFunction(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddFunction(&Function{Name: "a"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := w.AddFunction(&Function{Name: UserSource}); err == nil {
+		t.Fatal("$USER accepted as function name")
+	}
+	if err := w.AddFunction(&Function{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestEdgesResolveInputKinds(t *testing.T) {
+	w := buildWordCount(t)
+	edges := w.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(edges))
+	}
+	var countToMerge *Edge
+	for i := range edges {
+		if edges[i].From == "count" {
+			countToMerge = &edges[i]
+		}
+	}
+	if countToMerge == nil || countToMerge.InputKind != List || countToMerge.Kind != Merge {
+		t.Fatalf("count->merge edge wrong: %+v", countToMerge)
+	}
+}
+
+func TestEdgeKindStringRoundTrip(t *testing.T) {
+	for _, k := range []EdgeKind{Normal, Foreach, Merge, Switch, List} {
+		got, err := ParseEdgeKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v failed: %v %v", k, got, err)
+		}
+	}
+	if _, err := ParseEdgeKind("BOGUS"); err == nil {
+		t.Fatal("BOGUS accepted")
+	}
+	if k, err := ParseEdgeKind(""); err != nil || k != Normal {
+		t.Fatal("empty string should default to NORMAL")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := buildWordCount(t)
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Workflow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != w.Name || len(back.Functions) != len(w.Functions) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	f, ok := back.Function("count")
+	if !ok {
+		t.Fatal("count missing after round trip")
+	}
+	if f.Outputs[0].Kind != Merge {
+		t.Fatalf("kind lost: %v", f.Outputs[0].Kind)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var w Workflow
+	err := json.Unmarshal([]byte(`{"name":"x","functions":[{"name":"a","inputs":[],"outputs":[]}]}`), &w)
+	if err == nil {
+		t.Fatal("invalid workflow accepted from JSON")
+	}
+}
+
+func TestFunctionLookups(t *testing.T) {
+	w := buildWordCount(t)
+	f, ok := w.Function("count")
+	if !ok {
+		t.Fatal("count not found")
+	}
+	if _, ok := f.Input("file"); !ok {
+		t.Fatal("input file not found")
+	}
+	if _, ok := f.Input("nope"); ok {
+		t.Fatal("phantom input found")
+	}
+	if _, ok := f.Output("result"); !ok {
+		t.Fatal("output result not found")
+	}
+	if _, ok := f.Output("nope"); ok {
+		t.Fatal("phantom output found")
+	}
+	if _, ok := w.Function("nope"); ok {
+		t.Fatal("phantom function found")
+	}
+}

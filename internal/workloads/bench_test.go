@@ -1,0 +1,44 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkJacobiSVD measures the real numeric kernel used by the svd
+// workload's verification path.
+func BenchmarkJacobiSVD(b *testing.B) {
+	m := NewMatrix(64, 8)
+	r := rand.New(rand.NewSource(1))
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sv := m.SingularValues(); len(sv) != 8 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkTranscode measures the per-byte video transform.
+func BenchmarkTranscode(b *testing.B) {
+	chunk := make([]byte, 1<<20)
+	rand.New(rand.NewSource(2)).Read(chunk)
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transcode(chunk)
+	}
+}
+
+// BenchmarkBoxBlur measures the image kernel.
+func BenchmarkBoxBlur(b *testing.B) {
+	im := GenImage(256, 192, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.BoxBlur(1)
+	}
+}

@@ -1,0 +1,465 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// RegisterWordCount installs real word-count handlers on a System deployed
+// with the wc workflow. fanout shards the input text.
+func RegisterWordCount(sys *core.System, fanout int) error {
+	if fanout < 1 {
+		fanout = 1
+	}
+	if err := sys.Register("start", func(ctx *core.Context) error {
+		src, err := ctx.Input("src")
+		if err != nil {
+			return err
+		}
+		words := strings.Fields(string(src))
+		shards := make([][]byte, fanout)
+		for i := range shards {
+			lo, hi := i*len(words)/fanout, (i+1)*len(words)/fanout
+			shards[i] = []byte(strings.Join(words[lo:hi], " "))
+		}
+		return ctx.PutForeach("filelist", shards)
+	}); err != nil {
+		return err
+	}
+	if err := sys.Register("count", func(ctx *core.Context) error {
+		shard, err := ctx.Input("file")
+		if err != nil {
+			return err
+		}
+		counts := map[string]int{}
+		for _, w := range strings.Fields(string(shard)) {
+			counts[w]++
+		}
+		return ctx.Put("result", encodeCounts(counts))
+	}); err != nil {
+		return err
+	}
+	return sys.Register("merge", func(ctx *core.Context) error {
+		parts, err := ctx.InputList("counts")
+		if err != nil {
+			return err
+		}
+		total := map[string]int{}
+		for _, p := range parts {
+			m, err := decodeCounts(p)
+			if err != nil {
+				return err
+			}
+			for k, v := range m {
+				total[k] += v
+			}
+		}
+		return ctx.Put("out", encodeCounts(total))
+	})
+}
+
+// encodeCounts renders word counts as sorted "word n" lines.
+func encodeCounts(m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, m[k])
+	}
+	return b.Bytes()
+}
+
+// decodeCounts parses the encodeCounts format.
+func decodeCounts(b []byte) (map[string]int, error) {
+	out := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if line == "" {
+			continue
+		}
+		fs := strings.Fields(line)
+		if len(fs) != 2 {
+			return nil, fmt.Errorf("workloads: bad count line %q", line)
+		}
+		n, err := strconv.Atoi(fs[1])
+		if err != nil {
+			return nil, err
+		}
+		out[fs[0]] = n
+	}
+	return out, nil
+}
+
+// RegisterSVD installs real SVD handlers on a System deployed with the svd
+// workflow: the matrix is split into row blocks, each block contributes its
+// Gram matrix AᵢᵀAᵢ, and combine extracts singular values from the
+// eigenvalues of the sum.
+func RegisterSVD(sys *core.System, fanout int) error {
+	if fanout < 1 {
+		fanout = 1
+	}
+	if err := sys.Register("partition", func(ctx *core.Context) error {
+		blob, err := ctx.Input("matrix")
+		if err != nil {
+			return err
+		}
+		m, err := UnmarshalMatrix(blob)
+		if err != nil {
+			return err
+		}
+		blocks := m.RowBlocks(fanout)
+		payloads := make([][]byte, len(blocks))
+		for i, b := range blocks {
+			payloads[i] = b.Marshal()
+		}
+		return ctx.PutForeach("blocks", payloads)
+	}); err != nil {
+		return err
+	}
+	if err := sys.Register("factorize", func(ctx *core.Context) error {
+		blob, err := ctx.Input("block")
+		if err != nil {
+			return err
+		}
+		blk, err := UnmarshalMatrix(blob)
+		if err != nil {
+			return err
+		}
+		gram := NewMatrix(blk.Cols, blk.Cols)
+		blk.GramSum(gram)
+		return ctx.Put("partial", gram.Marshal())
+	}); err != nil {
+		return err
+	}
+	return sys.Register("combine", func(ctx *core.Context) error {
+		parts, err := ctx.InputList("partials")
+		if err != nil {
+			return err
+		}
+		var acc *Matrix
+		for _, p := range parts {
+			g, err := UnmarshalMatrix(p)
+			if err != nil {
+				return err
+			}
+			if acc == nil {
+				acc = NewMatrix(g.Rows, g.Cols)
+			}
+			for i := range g.Data {
+				acc.Data[i] += g.Data[i]
+			}
+		}
+		if acc == nil {
+			return fmt.Errorf("workloads: no partials")
+		}
+		ev := acc.SymmetricEigenvalues()
+		sv := make([]float64, len(ev))
+		for i, v := range ev {
+			if v < 0 {
+				v = 0
+			}
+			sv[i] = math.Sqrt(v)
+		}
+		return ctx.Put("out", marshalFloats(sv))
+	})
+}
+
+// marshalFloats encodes a float64 slice (count then values).
+func marshalFloats(v []float64) []byte {
+	buf := make([]byte, 8+8*len(v))
+	binary.LittleEndian.PutUint64(buf, uint64(len(v)))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(f))
+	}
+	return buf
+}
+
+// UnmarshalFloats decodes marshalFloats output.
+func UnmarshalFloats(b []byte) ([]float64, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("workloads: float blob too short")
+	}
+	n := int(binary.LittleEndian.Uint64(b))
+	if n < 0 || 8+8*n > len(b) {
+		return nil, fmt.Errorf("workloads: float blob header %d inconsistent", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8+8*i:]))
+	}
+	return out, nil
+}
+
+// Image is a tiny grayscale raster used by the image-processing workload.
+type Image struct {
+	W, H int
+	Pix  []byte // W*H luminance values
+}
+
+// MarshalImage serializes width, height and pixels.
+func (im *Image) Marshal() []byte {
+	buf := make([]byte, 16+len(im.Pix))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(im.W))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(im.H))
+	copy(buf[16:], im.Pix)
+	return buf
+}
+
+// UnmarshalImage decodes MarshalImage output.
+func UnmarshalImage(b []byte) (*Image, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("workloads: image blob too short")
+	}
+	w := int(binary.LittleEndian.Uint64(b[0:]))
+	h := int(binary.LittleEndian.Uint64(b[8:]))
+	if w <= 0 || h <= 0 || w*h > len(b)-16 {
+		return nil, fmt.Errorf("workloads: image header %dx%d inconsistent", w, h)
+	}
+	im := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	copy(im.Pix, b[16:16+w*h])
+	return im, nil
+}
+
+// GenImage produces a deterministic synthetic image.
+func GenImage(w, h int, seed int64) *Image {
+	im := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	r := rand.New(rand.NewSource(seed))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 128 + 64*math.Sin(float64(x)/9) + 32*math.Sin(float64(y)/7) + float64(r.Intn(17))
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			im.Pix[y*w+x] = byte(v)
+		}
+	}
+	return im
+}
+
+// Thumbnail downscales by factor with nearest-neighbour sampling.
+func (im *Image) Thumbnail(factor int) *Image {
+	if factor < 1 {
+		factor = 1
+	}
+	w, h := im.W/factor, im.H/factor
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = im.Pix[(y*factor)*im.W+x*factor]
+		}
+	}
+	return out
+}
+
+// BoxBlur applies an n-pass 3×3 box filter.
+func (im *Image) BoxBlur(passes int) *Image {
+	cur := &Image{W: im.W, H: im.H, Pix: append([]byte(nil), im.Pix...)}
+	for p := 0; p < passes; p++ {
+		next := make([]byte, len(cur.Pix))
+		for y := 0; y < cur.H; y++ {
+			for x := 0; x < cur.W; x++ {
+				sum, n := 0, 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						xx, yy := x+dx, y+dy
+						if xx < 0 || yy < 0 || xx >= cur.W || yy >= cur.H {
+							continue
+						}
+						sum += int(cur.Pix[yy*cur.W+xx])
+						n++
+					}
+				}
+				next[y*cur.W+x] = byte(sum / n)
+			}
+		}
+		cur.Pix = next
+	}
+	return cur
+}
+
+// DetectBright counts connected-ish bright regions: pixels above the mean
+// plus one standard deviation, summarized as an object count. A stand-in
+// for the ML inference step.
+func (im *Image) DetectBright() int {
+	if len(im.Pix) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range im.Pix {
+		sum += float64(p)
+	}
+	mean := sum / float64(len(im.Pix))
+	ss := 0.0
+	for _, p := range im.Pix {
+		d := float64(p) - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(im.Pix)))
+	thresh := byte(math.Min(255, mean+sd))
+	count := 0
+	// Count threshold crossings along the raster order as a cheap proxy for
+	// distinct regions.
+	prev := false
+	for _, p := range im.Pix {
+		cur := p >= thresh
+		if cur && !prev {
+			count++
+		}
+		prev = cur
+	}
+	return count
+}
+
+// RegisterImagePipeline installs real image handlers on a System deployed
+// with the img workflow.
+func RegisterImagePipeline(sys *core.System) error {
+	if err := sys.Register("extract", func(ctx *core.Context) error {
+		blob, err := ctx.Input("image")
+		if err != nil {
+			return err
+		}
+		im, err := UnmarshalImage(blob)
+		if err != nil {
+			return err
+		}
+		meta := []byte(fmt.Sprintf("w=%d h=%d bytes=%d", im.W, im.H, len(im.Pix)))
+		if err := ctx.Put("meta", meta); err != nil {
+			return err
+		}
+		if err := ctx.Put("thumb_src", blob); err != nil {
+			return err
+		}
+		return ctx.Put("detect_src", blob)
+	}); err != nil {
+		return err
+	}
+	if err := sys.Register("transform", func(ctx *core.Context) error {
+		meta, err := ctx.Input("meta")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("tagged", append([]byte("tagged: "), meta...))
+	}); err != nil {
+		return err
+	}
+	if err := sys.Register("thumbnail", func(ctx *core.Context) error {
+		blob, err := ctx.Input("image")
+		if err != nil {
+			return err
+		}
+		im, err := UnmarshalImage(blob)
+		if err != nil {
+			return err
+		}
+		return ctx.Put("thumb", im.Thumbnail(4).Marshal())
+	}); err != nil {
+		return err
+	}
+	if err := sys.Register("detect", func(ctx *core.Context) error {
+		blob, err := ctx.Input("image")
+		if err != nil {
+			return err
+		}
+		im, err := UnmarshalImage(blob)
+		if err != nil {
+			return err
+		}
+		objects := im.BoxBlur(2).DetectBright()
+		return ctx.Put("objects", []byte(strconv.Itoa(objects)))
+	}); err != nil {
+		return err
+	}
+	return sys.Register("store", func(ctx *core.Context) error {
+		meta, err := ctx.Input("meta")
+		if err != nil {
+			return err
+		}
+		thumb, err := ctx.Input("thumb")
+		if err != nil {
+			return err
+		}
+		objects, err := ctx.Input("objects")
+		if err != nil {
+			return err
+		}
+		summary := fmt.Sprintf("%s | thumb=%dB | objects=%s", meta, len(thumb), objects)
+		return ctx.Put("out", []byte(summary))
+	})
+}
+
+// Transcode re-encodes a byte chunk with delta encoding plus 4-bit
+// quantization — a cheap, deterministic stand-in for the FFmpeg transcode
+// step that really touches every byte.
+func Transcode(chunk []byte) []byte {
+	out := make([]byte, 0, len(chunk)/2+1)
+	prev := byte(0)
+	for i := 0; i+1 < len(chunk); i += 2 {
+		d1 := (chunk[i] - prev) >> 4
+		prev = chunk[i]
+		d2 := (chunk[i+1] - prev) >> 4
+		prev = chunk[i+1]
+		out = append(out, d1<<4|d2&0x0f)
+	}
+	return out
+}
+
+// RegisterVideoPipeline installs real video handlers on a System deployed
+// with the vid workflow. fanout is the number of transcode chunks.
+func RegisterVideoPipeline(sys *core.System, fanout int) error {
+	if fanout < 1 {
+		fanout = 1
+	}
+	if err := sys.Register("split", func(ctx *core.Context) error {
+		video, err := ctx.Input("video")
+		if err != nil {
+			return err
+		}
+		chunks := make([][]byte, fanout)
+		for i := range chunks {
+			lo, hi := i*len(video)/fanout, (i+1)*len(video)/fanout
+			chunks[i] = video[lo:hi]
+		}
+		return ctx.PutForeach("chunks", chunks)
+	}); err != nil {
+		return err
+	}
+	if err := sys.Register("transcode", func(ctx *core.Context) error {
+		chunk, err := ctx.Input("chunk")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("encoded", Transcode(chunk))
+	}); err != nil {
+		return err
+	}
+	return sys.Register("concat", func(ctx *core.Context) error {
+		parts, err := ctx.InputList("parts")
+		if err != nil {
+			return err
+		}
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return ctx.Put("out", out)
+	})
+}

@@ -1,0 +1,210 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// newSystem deploys prof on a fast 3-node in-process cluster.
+func newSystem(t *testing.T, prof *Profile) *core.System {
+	t.Helper()
+	cl := cluster.NewCluster(nil)
+	for i := 1; i <= 3; i++ {
+		if err := cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i), cluster.Options{
+			ColdStart: time.Millisecond,
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := core.NewSystem(core.Config{
+		Workflow:    prof.Workflow,
+		Cluster:     cl,
+		DefaultSpec: cluster.Spec{MemoryMB: 8 * 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRegisterWordCountEndToEnd(t *testing.T) {
+	sys := newSystem(t, WordCount(3, 0))
+	defer sys.Shutdown()
+	if err := RegisterWordCount(sys, 3); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := sys.Invoke(map[string][]byte{
+		"start.src": []byte("go go go gopher gopher flow"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := inv.OutputBytes("out")
+	counts, err := decodeCounts(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["go"] != 3 || counts["gopher"] != 2 || counts["flow"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestRegisterWordCountClampsFanout(t *testing.T) {
+	sys := newSystem(t, WordCount(1, 0))
+	defer sys.Shutdown()
+	if err := RegisterWordCount(sys, 0); err != nil { // clamps to 1
+		t.Fatal(err)
+	}
+	inv, _ := sys.Invoke(map[string][]byte{"start.src": []byte("a a")})
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := inv.OutputBytes("out")
+	if !strings.Contains(string(out), "a 2") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRegisterSVDEndToEnd(t *testing.T) {
+	sys := newSystem(t, SVD(4, 0))
+	defer sys.Shutdown()
+	if err := RegisterSVD(sys, 4); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatrix(32, 5)
+	r := rand.New(rand.NewSource(11))
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	inv, err := sys.Invoke(map[string][]byte{"partition.matrix": m.Marshal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := inv.OutputBytes("out")
+	got, err := UnmarshalFloats(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.SingularValues()
+	if len(got) != len(want) {
+		t.Fatalf("got %d singular values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("sv[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegisterImagePipelineEndToEnd(t *testing.T) {
+	sys := newSystem(t, ImageProcessing(0))
+	defer sys.Shutdown()
+	if err := RegisterImagePipeline(sys); err != nil {
+		t.Fatal(err)
+	}
+	im := GenImage(96, 64, 5)
+	inv, err := sys.Invoke(map[string][]byte{"extract.image": im.Marshal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := inv.OutputBytes("out")
+	summary := string(out)
+	if !strings.Contains(summary, "w=96 h=64") {
+		t.Fatalf("metadata missing: %q", summary)
+	}
+	if !strings.Contains(summary, "thumb=") || !strings.Contains(summary, "objects=") {
+		t.Fatalf("summary incomplete: %q", summary)
+	}
+}
+
+func TestRegisterImagePipelineRejectsGarbage(t *testing.T) {
+	sys := newSystem(t, ImageProcessing(0))
+	defer sys.Shutdown()
+	if err := RegisterImagePipeline(sys); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := sys.Invoke(map[string][]byte{"extract.image": []byte("not an image")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+}
+
+func TestRegisterVideoPipelineEndToEnd(t *testing.T) {
+	sys := newSystem(t, VideoFFmpeg(4, 0))
+	defer sys.Shutdown()
+	if err := RegisterVideoPipeline(sys, 4); err != nil {
+		t.Fatal(err)
+	}
+	video := make([]byte, 128<<10)
+	rand.New(rand.NewSource(3)).Read(video)
+	inv, err := sys.Invoke(map[string][]byte{"split.video": video})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := inv.OutputBytes("out")
+	// Transcode halves each chunk (4-bit delta pairs).
+	if len(out) != len(video)/2 {
+		t.Fatalf("out = %d bytes, want %d", len(out), len(video)/2)
+	}
+	// Deterministic: concatenating per-chunk transcodes matches.
+	var want []byte
+	for i := 0; i < 4; i++ {
+		lo, hi := i*len(video)/4, (i+1)*len(video)/4
+		want = append(want, Transcode(video[lo:hi])...)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("pipeline output differs from direct transcode")
+	}
+}
+
+func TestDecodeCountsRejectsGarbage(t *testing.T) {
+	if _, err := decodeCounts([]byte("not a count line")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := decodeCounts([]byte("word notanumber")); err == nil {
+		t.Fatal("non-numeric count accepted")
+	}
+	m, err := decodeCounts([]byte(""))
+	if err != nil || len(m) != 0 {
+		t.Fatalf("empty decode = %v, %v", m, err)
+	}
+}
+
+func TestEncodeDecodeCountsRoundTrip(t *testing.T) {
+	in := map[string]int{"b": 2, "a": 1, "zz": 30}
+	out, err := decodeCounts(encodeCounts(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("out = %v", out)
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Fatalf("out[%s] = %d, want %d", k, out[k], v)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix used by the real SVD workload.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Marshal serializes the matrix (little-endian: rows, cols, data).
+func (m *Matrix) Marshal() []byte {
+	buf := make([]byte, 16+8*len(m.Data))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(m.Rows))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(m.Cols))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// UnmarshalMatrix decodes a matrix serialized with Marshal.
+func UnmarshalMatrix(b []byte) (*Matrix, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("workloads: matrix blob too short (%d bytes)", len(b))
+	}
+	rows := int(binary.LittleEndian.Uint64(b[0:]))
+	cols := int(binary.LittleEndian.Uint64(b[8:]))
+	if rows < 0 || cols < 0 || rows*cols > (len(b)-16)/8 {
+		return nil, fmt.Errorf("workloads: matrix header %dx%d inconsistent with %d bytes", rows, cols, len(b))
+	}
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[16+8*i:]))
+	}
+	return m, nil
+}
+
+// SingularValues computes the singular values of m with one-sided Jacobi
+// rotations (Hestenes method): columns are orthogonalized pairwise until
+// convergence; the singular values are the resulting column norms. Returned
+// in descending order.
+func (m *Matrix) SingularValues() []float64 {
+	// Work on a copy; operate column-wise on A (rows x cols), cols <= rows
+	// expected; transpose otherwise.
+	a := m
+	if m.Cols > m.Rows {
+		a = m.Transpose()
+	}
+	rows, cols := a.Rows, a.Cols
+	work := make([]float64, len(a.Data))
+	copy(work, a.Data)
+	col := func(j int) []float64 {
+		out := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			out[i] = work[i*cols+j]
+		}
+		return out
+	}
+	setCol := func(j int, v []float64) {
+		for i := 0; i < rows; i++ {
+			work[i*cols+j] = v[i]
+		}
+	}
+	const eps = 1e-10
+	for sweep := 0; sweep < 30; sweep++ {
+		off := 0.0
+		for p := 0; p < cols-1; p++ {
+			for q := p + 1; q < cols; q++ {
+				cp, cq := col(p), col(q)
+				alpha, beta, gamma := 0.0, 0.0, 0.0
+				for i := 0; i < rows; i++ {
+					alpha += cp[i] * cp[i]
+					beta += cq[i] * cq[i]
+					gamma += cp[i] * cq[i]
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off += gamma * gamma
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < rows; i++ {
+					vp := c*cp[i] - s*cq[i]
+					vq := s*cp[i] + c*cq[i]
+					cp[i], cq[i] = vp, vq
+				}
+				setCol(p, cp)
+				setCol(q, cq)
+			}
+		}
+		if off < eps {
+			break
+		}
+	}
+	sv := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		sum := 0.0
+		for i := 0; i < rows; i++ {
+			v := work[i*cols+j]
+			sum += v * v
+		}
+		sv[j] = math.Sqrt(sum)
+	}
+	// Descending insertion sort (cols is small).
+	for i := 1; i < len(sv); i++ {
+		for j := i; j > 0 && sv[j] > sv[j-1]; j-- {
+			sv[j], sv[j-1] = sv[j-1], sv[j]
+		}
+	}
+	return sv
+}
+
+// Transpose returns the transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// RowBlocks splits m into n row blocks (the last absorbs the remainder).
+func (m *Matrix) RowBlocks(n int) []*Matrix {
+	if n < 1 {
+		n = 1
+	}
+	if n > m.Rows {
+		n = m.Rows
+	}
+	out := make([]*Matrix, 0, n)
+	per := m.Rows / n
+	for b := 0; b < n; b++ {
+		lo := b * per
+		hi := lo + per
+		if b == n-1 {
+			hi = m.Rows
+		}
+		blk := NewMatrix(hi-lo, m.Cols)
+		copy(blk.Data, m.Data[lo*m.Cols:hi*m.Cols])
+		out = append(out, blk)
+	}
+	return out
+}
+
+// GramSum accumulates Aᵀ·A of the block into acc (cols x cols); used to
+// combine partial factorization results: the singular values of A are the
+// square roots of the eigenvalues of ΣᵢAᵢᵀAᵢ.
+func (m *Matrix) GramSum(acc *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for a := 0; a < m.Cols; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			for b := 0; b < m.Cols; b++ {
+				acc.Data[a*m.Cols+b] += row[a] * row[b]
+			}
+		}
+	}
+}
+
+// SymmetricEigenvalues computes the eigenvalues of a symmetric matrix with
+// cyclic Jacobi rotations, returned descending. Used on the accumulated
+// Gram matrix in the combine step.
+func (m *Matrix) SymmetricEigenvalues() []float64 {
+	n := m.Rows
+	a := make([]float64, len(m.Data))
+	copy(a, m.Data)
+	at := func(i, j int) float64 { return a[i*n+j] }
+	set := func(i, j int, v float64) { a[i*n+j] = v }
+	const eps = 1e-12
+	for sweep := 0; sweep < 50; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				off += at(p, q) * at(p, q)
+			}
+		}
+		if off < eps {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := at(p, q)
+				if math.Abs(apq) < eps {
+					continue
+				}
+				theta := (at(q, q) - at(p, p)) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for k := 0; k < n; k++ {
+					akp := at(k, p)
+					akq := at(k, q)
+					set(k, p, c*akp-s*akq)
+					set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := at(p, k)
+					aqk := at(q, k)
+					set(p, k, c*apk-s*aqk)
+					set(q, k, s*apk+c*aqk)
+				}
+			}
+		}
+	}
+	ev := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ev[i] = at(i, i)
+	}
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && ev[j] > ev[j-1]; j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
+	return ev
+}
