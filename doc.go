@@ -6,5 +6,5 @@
 // (internal/core) runs real workflows with the FLU/DLU abstraction inside
 // one process, and the simulation plane (internal/simcluster +
 // internal/experiments) regenerates every figure of the paper's evaluation.
-// See README.md for a tour and DESIGN.md for the system inventory.
+// See README.md for a tour and the package map.
 package repro

@@ -131,6 +131,9 @@ type Options struct {
 	NICBps float64
 	// SinkTTL is the Wait-Match Memory passive-expire TTL.
 	SinkTTL time.Duration
+	// SinkShards is the sink's lock-stripe count (wmm.DefaultShards when
+	// 0); the runtime plane's engines hit the sink from many goroutines.
+	SinkShards int
 	// Clock defaults to the wall clock.
 	Clock clock.Clock
 }
@@ -170,7 +173,7 @@ func NewNode(name string, opts Options) *Node {
 		clk:        clk,
 		opts:       opts,
 		NIC:        nic,
-		Sink:       wmm.NewSink(wmm.Options{TTL: opts.SinkTTL}),
+		Sink:       wmm.NewSink(wmm.Options{TTL: opts.SinkTTL, Shards: opts.SinkShards}),
 		containers: make(map[string][]*Container),
 		memInt:     metrics.NewIntegral(),
 		started:    clk.Now(),

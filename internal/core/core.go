@@ -39,6 +39,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/pipe"
 	"repro/internal/trace"
+	"repro/internal/wmm"
 	"repro/internal/workflow"
 )
 
@@ -323,13 +324,57 @@ func (inv *Invocation) finishLocked() {
 	inv.end = time.Now()
 	close(inv.done)
 	inv.sys.traceEvent(trace.ReqCompleted, inv.ReqID, "", 0, "")
-	// End-of-request cleanup: release any leftover sink entries on every
-	// node (normally proactive release has already dropped them).
+	// End-of-request GC: drop the invocation from the system table and
+	// release its leftover sink entries on every node. Proactive release
+	// normally empties the memory tier earlier; this teardown is what
+	// reclaims TTL-spilled disk entries and the invocation bookkeeping, so
+	// a long-running system does not grow with request count.
+	inv.sys.forgetInvocation(inv.ReqID)
 	for _, name := range inv.sys.cfg.Cluster.Nodes() {
 		if n, ok := inv.sys.cfg.Cluster.Node(name); ok {
 			n.Sink.ReleaseRequest(n.Elapsed(), inv.ReqID)
 		}
 	}
+}
+
+// forgetInvocation removes a completed request from the invocation table
+// (callers keep their *Invocation handle; only the system-side tracking is
+// dropped).
+func (s *System) forgetInvocation(reqID string) {
+	s.mu.Lock()
+	delete(s.invs, reqID)
+	s.mu.Unlock()
+}
+
+// tracked reports whether a request is still in the invocation table. A
+// shipment landing for an untracked request must clean up after itself:
+// teardown's ReleaseRequest has already swept the sinks (forgetInvocation
+// happens before the sweep, so "untracked but swept-later" resolves to the
+// sweep covering the late Put).
+func (s *System) tracked(reqID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.invs[reqID]
+	return ok
+}
+
+// PendingInvocations returns the number of requests still tracked by the
+// system (in flight, or failed before their teardown ran).
+func (s *System) PendingInvocations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.invs)
+}
+
+// SinkStats merges the Wait-Match Memory counters of every cluster node.
+func (s *System) SinkStats() wmm.Stats {
+	var out wmm.Stats
+	for _, name := range s.cfg.Cluster.Nodes() {
+		if n, ok := s.cfg.Cluster.Node(name); ok {
+			out.Merge(n.Sink.Stats())
+		}
+	}
+	return out
 }
 
 // Invoke starts one workflow request. input maps "function.input" to the
@@ -370,6 +415,9 @@ func (s *System) Invoke(input map[string][]byte) (*Invocation, error) {
 	newly, err := inv.tracker.Start(userVals)
 	inv.mu.Unlock()
 	if err != nil {
+		// Run the normal teardown so the rejected invocation does not stay
+		// in the table (and its done channel closes for any observer).
+		inv.fail(err)
 		return nil, err
 	}
 	s.scheduleReady(inv, newly)

@@ -227,6 +227,14 @@ func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item)
 // tracker and schedules newly ready instances.
 func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node) {
 	dstNode.Sink.Put(dstNode.Elapsed(), sinkKey(inv.ReqID, it), it.Value, 1)
+	if !s.tracked(inv.ReqID) {
+		// The request completed while this shipment was in flight (e.g. the
+		// user-facing item of the same DLU task finished the workflow), so
+		// its teardown ReleaseRequest has already run — or runs after our
+		// Put, in which case this extra release is a no-op. Either way the
+		// just-cached entry must not outlive the request.
+		dstNode.Sink.ReleaseRequest(dstNode.Elapsed(), inv.ReqID)
+	}
 	s.traceEvent(trace.DataArrived, inv.ReqID, it.To.Fn, it.To.Idx,
 		fmt.Sprintf("%s %dB", it.Input, it.Value.Size))
 	s.deliver(inv, it)

@@ -180,6 +180,9 @@ func (s *Sim) result(horizon time.Duration) *Result {
 		}
 		res.CacheMBsPerReq = cache / float64(s.completed)
 	}
+	for _, n := range s.nodes {
+		res.SinkStats.Merge(n.sink.Stats())
+	}
 	if math.IsNaN(res.ThroughputRPM) || math.IsInf(res.ThroughputRPM, 0) {
 		res.ThroughputRPM = 0
 	}

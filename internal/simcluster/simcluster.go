@@ -94,6 +94,10 @@ type Config struct {
 	Alpha float64
 	// SinkTTL is the Wait-Match Memory passive-expire TTL.
 	SinkTTL time.Duration
+	// SinkShards is the sink's lock-stripe count. The simulation's event
+	// loop is single-threaded, so the default is 1 (no striping overhead);
+	// raise it only to mirror a runtime-plane configuration.
+	SinkShards int
 
 	// RequestTimeout marks a request failed if exceeded (missing points in
 	// the paper's figures).
@@ -142,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SinkTTL == 0 {
 		c.SinkTTL = 60 * time.Second
+	}
+	if c.SinkShards == 0 {
+		c.SinkShards = 1
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 120 * time.Second
@@ -202,6 +209,9 @@ type Result struct {
 	// CacheMBsPerReq is the host-side intermediate-data cache integral per
 	// request (Fig. 14).
 	CacheMBsPerReq float64
+	// SinkStats merges the Wait-Match Memory counters of every node (hit
+	// tiers, proactive releases, TTL spills).
+	SinkStats wmm.Stats
 	// CommByFn/CompByFn break the per-function time down (Fig. 2(a)).
 	FnStats map[string]*FnStat
 	// CPUBusy and NetBusy are resource usage timelines (Fig. 2(b)): the
@@ -357,6 +367,7 @@ func New(cfg Config) *Sim {
 			sink: wmm.NewSink(wmm.Options{
 				TTL:              cfg.SinkTTL,
 				DisableProactive: cfg.Kind == FaaSFlow || cfg.Kind == SONIC || cfg.Kind == StateMachine,
+				Shards:           cfg.SinkShards,
 			}),
 			fns: make(map[string]*fnState),
 		}

@@ -28,6 +28,14 @@ func TestSingleRequestCompletesAllSystemsAllBenchmarks(t *testing.T) {
 				if lat <= 0 || lat > 60 {
 					t.Fatalf("latency = %vs", lat)
 				}
+				// The centralized state machine routes everything through
+				// backend storage and never touches the host cache.
+				if kind != StateMachine && res.SinkStats.Puts == 0 {
+					t.Fatalf("sink stats not collected: %+v", res.SinkStats)
+				}
+				if kind == DataFlower && res.SinkStats.ProactiveReleases == 0 {
+					t.Fatalf("DataFlower ran without proactive releases: %+v", res.SinkStats)
+				}
 			})
 		}
 	}

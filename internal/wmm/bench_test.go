@@ -2,6 +2,7 @@ package wmm
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,6 +21,50 @@ func BenchmarkPutGet(b *testing.B) {
 		if _, _, ok := s.Get(time.Duration(i), k); !ok {
 			b.Fatal("lost datum")
 		}
+	}
+}
+
+// BenchmarkSinkParallel measures the sink under concurrent mixed traffic:
+// each goroutine runs its own request stream of Put/Get pairs where a
+// quarter of the entries are fully consumed (proactive release), the rest
+// linger until TTL expiry spills them, and requests are torn down with
+// ReleaseRequest a few windows behind the put front — the access pattern of
+// many simultaneous workflow invocations hitting one node's sink.
+func BenchmarkSinkParallel(b *testing.B) {
+	const reqSpan = 128 // puts per request before the stream moves on
+	val := dataflow.Value{Size: 1024}
+	for _, g := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			s := NewSink(Options{TTL: time.Millisecond})
+			perG := b.N/g + 1
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for w := 0; w < g; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						at := time.Duration(i) * time.Microsecond
+						req := fmt.Sprintf("r%d-%d", w, i/reqSpan)
+						key := Key{ReqID: req, Fn: "f", Data: fmt.Sprintf("d%d", i)}
+						s.Put(at, key, val, 2)
+						s.Get(at, key)
+						if i%4 == 0 {
+							s.Get(at, key) // second consumer: proactive release
+						}
+						if i%reqSpan == reqSpan-1 && i/reqSpan >= 4 {
+							// Request completion GC, four windows behind.
+							s.ReleaseRequest(at, fmt.Sprintf("r%d-%d", w, i/reqSpan-4))
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
 	}
 }
 

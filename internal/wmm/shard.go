@@ -1,0 +1,236 @@
+package wmm
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+)
+
+type entry struct {
+	key       Key
+	val       dataflow.Value
+	remaining int // consumers still to fetch
+	expiresAt time.Duration
+	hasTTL    bool
+}
+
+// expiryHeap is a min-heap of TTL'd entries ordered by expiry time. Entries
+// that leave the shard maps early (consumed, replaced or released) are left
+// in the heap and lazily discarded when popped, so removal stays O(1) and
+// each entry costs one O(log n) push plus one O(log n) pop over its
+// lifetime — never a scan of live entries. Hand-rolled rather than
+// container/heap: the push/pop below run on the Put hot path and the
+// interface indirection is measurable there.
+type expiryHeap []*entry
+
+func (h *expiryHeap) push(e *entry) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].expiresAt <= q[i].expiresAt {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *expiryHeap) pop() *entry {
+	q := *h
+	n := len(q) - 1
+	e := q[0]
+	q[0] = q[n]
+	q[n] = nil // release the entry for GC once processed
+	q = q[:n]
+	*h = q
+	q.siftDown(0)
+	return e
+}
+
+func (h expiryHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < n && h[l].expiresAt < h[min].expiresAt {
+			min = l
+		}
+		if r < n && h[r].expiresAt < h[min].expiresAt {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// shard is one lock stripe of the sink: a slice of the key space with its
+// own index maps, expiry heap, counters and occupancy integral. Aggregate
+// readers merge the per-shard state; the hot path touches exactly one
+// shard.
+type shard struct {
+	mu   sync.Mutex
+	mem  map[string]map[string]map[string]*entry // reqID -> fn -> data
+	disk map[string]map[Key]*entry               // reqID -> key (spill tier)
+	ttl  expiryHeap
+
+	// ttlStale counts heap items whose entry has already left the maps
+	// (consumed, replaced or released before its TTL fired). When stale
+	// items outnumber live ones the heap is compacted, so the skeletons
+	// pinned by lazy deletion stay bounded by the live entry count.
+	ttlStale int
+
+	// stats holds this stripe's counters; PeakMemBytes is tracked globally
+	// on the Sink (per-shard peaks at different times do not sum to the
+	// true peak) and filled in when Stats merges the shards.
+	stats    Stats
+	memBytes int64
+	memInt   *metrics.Integral // MB·s of this stripe's memory occupancy
+}
+
+// compactMinHeap is the heap size below which compaction is not worth it.
+const compactMinHeap = 64
+
+// maybeCompactTTL rebuilds the expiry heap without its stale items once
+// they outnumber the live ones. Amortized O(1) per operation: a rebuild
+// costs O(n) but at least n/2 stale items were discarded to earn it.
+func (sh *shard) maybeCompactTTL() {
+	if len(sh.ttl) < compactMinHeap || sh.ttlStale*2 <= len(sh.ttl) {
+		return
+	}
+	q := sh.ttl[:0]
+	for _, e := range sh.ttl {
+		if dm := sh.fnMap(e.key); dm != nil && dm[e.key.Data] == e {
+			q = append(q, e)
+		}
+	}
+	for i := len(q); i < len(sh.ttl); i++ {
+		sh.ttl[i] = nil
+	}
+	if len(q)*2 < cap(sh.ttl) {
+		q = append(expiryHeap(nil), q...) // let a burst's backing array go
+	}
+	sh.ttl = q
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+	sh.ttlStale = 0
+}
+
+func (sh *shard) init() {
+	sh.mem = make(map[string]map[string]map[string]*entry)
+	sh.disk = make(map[string]map[Key]*entry)
+	sh.memInt = metrics.NewIntegral()
+}
+
+// fnMap returns the data map for key's (ReqID, Fn), or nil.
+func (sh *shard) fnMap(key Key) map[string]*entry {
+	fnMap := sh.mem[key.ReqID]
+	if fnMap == nil {
+		return nil
+	}
+	return fnMap[key.Fn]
+}
+
+// gcEmpty prunes empty inner maps after a removal at key.
+func (sh *shard) gcEmpty(key Key) {
+	fnMap := sh.mem[key.ReqID]
+	if fnMap == nil {
+		return
+	}
+	if dataMap := fnMap[key.Fn]; dataMap != nil && len(dataMap) == 0 {
+		delete(fnMap, key.Fn)
+	}
+	if len(fnMap) == 0 {
+		delete(sh.mem, key.ReqID)
+	}
+}
+
+// expireLocked pops TTL-exceeded entries off the shard's heap: live ones
+// move to the spill tier (or are dropped outright when already fully
+// consumed), stale heap items are discarded. Amortized O(log n) per expired
+// entry; O(1) when nothing has expired. Caller holds sh.mu.
+func (s *Sink) expireLocked(sh *shard, at time.Duration) int {
+	if s.opts.TTL <= 0 {
+		return 0
+	}
+	n := 0
+	for len(sh.ttl) > 0 {
+		e := sh.ttl[0]
+		if e.expiresAt > at {
+			break
+		}
+		sh.ttl.pop()
+		dataMap := sh.fnMap(e.key)
+		if dataMap == nil || dataMap[e.key.Data] != e {
+			sh.ttlStale--
+			continue // stale: consumed, replaced or released since insertion
+		}
+		delete(dataMap, e.key.Data)
+		sh.gcEmpty(e.key)
+		s.adjustMem(sh, at, -e.val.Size)
+		sh.stats.Expirations++
+		n++
+		if e.remaining <= 0 {
+			// Fully consumed (possible only with DisableProactive): no
+			// consumer will return for it, so spilling would leak the bytes
+			// on disk until request teardown — drop it instead.
+			continue
+		}
+		reqDisk := sh.disk[e.key.ReqID]
+		if reqDisk == nil {
+			reqDisk = make(map[Key]*entry)
+			sh.disk[e.key.ReqID] = reqDisk
+		}
+		reqDisk[e.key] = e
+		s.diskBytes.Add(e.val.Size)
+	}
+	return n
+}
+
+// adjustMem applies a memory-tier byte delta to the shard's occupancy
+// integral and the sink's global counters. The global total is atomic, so
+// the peak observed through the CAS loop is the exact peak of the whole
+// sink, not a sum of unsynchronized per-shard peaks. Caller holds sh.mu.
+func (s *Sink) adjustMem(sh *shard, at time.Duration, delta int64) {
+	sh.memBytes += delta
+	sh.memInt.Set(at, metrics.BytesToMB(sh.memBytes))
+	total := s.memBytes.Add(delta)
+	for {
+		peak := s.peakMem.Load()
+		if total <= peak || s.peakMem.CompareAndSwap(peak, total) {
+			return
+		}
+	}
+}
+
+// fnv32a seeds the key hash (FNV-1a).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnvMix folds one key component into h, terminated so that component
+// boundaries are unambiguous.
+func fnvMix(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	h ^= 0xff
+	h *= fnvPrime32
+	return h
+}
+
+// shardOf maps the multi-level key onto its lock stripe.
+func (s *Sink) shardOf(key Key) *shard {
+	h := fnvMix(fnvOffset32, key.ReqID)
+	h = fnvMix(h, key.Fn)
+	h = fnvMix(h, key.Data)
+	return &s.shards[h&s.mask]
+}

@@ -14,7 +14,24 @@
 //   - Passive expire: entries carry a TTL; on expiry they are persisted to
 //     the function-exclusive disk (modelled as a second tier) and evicted
 //     from memory. A later Get is served from disk and reports it, so
-//     callers can charge the slower access.
+//     callers can charge the slower access. An entry that was already fully
+//     consumed when its TTL fires is dropped rather than spilled, and the
+//     spill tier itself is reclaimed per request at completion, so neither
+//     tier grows without bound in a long-running system.
+//
+// Internally the sink is sharded: the key is hashed across a power-of-two
+// number of lock stripes, each with its own index, expiry min-heap, and
+// counters. Put/Get/Peek lock exactly one stripe and pop only the entries
+// whose TTL has actually fired (amortized O(log n)), so there is no
+// O(all-entries) sweep and no single serialization point on the hot path
+// under concurrent invocations. Aggregate readers (Stats, MemIntegralMBs,
+// byte gauges) merge the per-shard state; per-stripe integrals sum linearly
+// and the global byte total and peak are maintained atomically. Expiry is
+// applied lazily — on each stripe's own accesses, on every ReleaseRequest
+// and ExpireSweep (which visit all stripes), and at MemIntegralMBs reads —
+// so a past-TTL entry on a quiet stripe is charged to the memory tier for
+// at most the gap between requests, not until its stripe happens to be
+// touched again.
 //
 // Timestamps are explicit time.Duration values so the same implementation
 // serves both the wall-clock runtime plane and the virtual-time simulation
@@ -22,11 +39,10 @@
 package wmm
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataflow"
-	"repro/internal/metrics"
 )
 
 // Key is the multi-level index of one datum.
@@ -58,12 +74,18 @@ func (t Tier) String() string {
 	}
 }
 
+// DefaultShards is the lock-stripe count used when Options.Shards is zero.
+const DefaultShards = 32
+
 // Options configures a Sink.
 type Options struct {
 	// TTL is the passive-expire timeout. Zero disables passive expiry.
 	TTL time.Duration
 	// DisableProactive turns off proactive release (for ablations).
 	DisableProactive bool
+	// Shards is the number of lock stripes the key space is hashed across,
+	// rounded up to a power of two (DefaultShards when 0).
+	Shards int
 }
 
 // Stats are cumulative sink counters.
@@ -77,35 +99,50 @@ type Stats struct {
 	PeakMemBytes      int64
 }
 
-type entry struct {
-	val       dataflow.Value
-	remaining int // consumers still to fetch
-	expiresAt time.Duration
-	hasTTL    bool
+// Merge adds other's counters into s, taking the larger peak. It aggregates
+// sinks of different nodes; within one sink Stats already merges the shards.
+func (s *Stats) Merge(other Stats) {
+	s.Puts += other.Puts
+	s.MemHits += other.MemHits
+	s.DiskHits += other.DiskHits
+	s.Misses += other.Misses
+	s.ProactiveReleases += other.ProactiveReleases
+	s.Expirations += other.Expirations
+	if other.PeakMemBytes > s.PeakMemBytes {
+		s.PeakMemBytes = other.PeakMemBytes
+	}
 }
 
 // Sink is one node's Wait-Match Memory plus its spill tier.
 type Sink struct {
-	mu    sync.Mutex
-	opts  Options
-	mem   map[string]map[string]map[string]*entry // reqID -> fn -> data
-	disk  map[Key]*entry
-	stats Stats
+	opts   Options
+	mask   uint32
+	shards []shard
 
-	memBytes  int64
-	diskBytes int64
-	memInt    *metrics.Integral // MB·s of memory occupancy
+	memBytes  atomic.Int64
+	diskBytes atomic.Int64
+	peakMem   atomic.Int64
 }
 
 // NewSink returns an empty sink.
 func NewSink(opts Options) *Sink {
-	return &Sink{
-		opts:   opts,
-		mem:    make(map[string]map[string]map[string]*entry),
-		disk:   make(map[Key]*entry),
-		memInt: metrics.NewIntegral(),
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
 	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Sink{opts: opts, mask: uint32(size - 1), shards: make([]shard, size)}
+	for i := range s.shards {
+		s.shards[i].init()
+	}
+	return s
 }
+
+// Shards returns the number of lock stripes.
+func (s *Sink) Shards() int { return len(s.shards) }
 
 // Put caches v for key at virtual/wall time at. consumers is the number of
 // destination FLUs that will fetch the datum (>=1); once they all have, the
@@ -114,14 +151,15 @@ func (s *Sink) Put(at time.Duration, key Key, v dataflow.Value, consumers int) {
 	if consumers < 1 {
 		consumers = 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireLocked(at)
-	s.stats.Puts++
-	fnMap := s.mem[key.ReqID]
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.expireLocked(sh, at)
+	sh.stats.Puts++
+	fnMap := sh.mem[key.ReqID]
 	if fnMap == nil {
 		fnMap = make(map[string]map[string]*entry)
-		s.mem[key.ReqID] = fnMap
+		sh.mem[key.ReqID] = fnMap
 	}
 	dataMap := fnMap[key.Fn]
 	if dataMap == nil {
@@ -129,191 +167,200 @@ func (s *Sink) Put(at time.Duration, key Key, v dataflow.Value, consumers int) {
 		fnMap[key.Fn] = dataMap
 	}
 	if old, ok := dataMap[key.Data]; ok {
-		s.adjustMem(at, -old.val.Size)
+		// The old entry's heap item (if any) goes stale and is discarded
+		// when popped or compacted; free its payload now.
+		s.adjustMem(sh, at, -old.val.Size)
+		old.val = dataflow.Value{}
+		if old.hasTTL {
+			sh.ttlStale++
+		}
 	}
-	e := &entry{val: v, remaining: consumers}
+	// A TTL-spilled copy of the same key is superseded too; without this a
+	// re-put would leave the stale value servable from disk (and its bytes
+	// double-counted) until request teardown.
+	if reqDisk := sh.disk[key.ReqID]; reqDisk != nil {
+		if old, ok := reqDisk[key]; ok {
+			delete(reqDisk, key)
+			if len(reqDisk) == 0 {
+				delete(sh.disk, key.ReqID)
+			}
+			s.diskBytes.Add(-old.val.Size)
+		}
+	}
+	e := &entry{key: key, val: v, remaining: consumers}
 	if s.opts.TTL > 0 {
 		e.expiresAt = at + s.opts.TTL
 		e.hasTTL = true
+		sh.ttl.push(e)
 	}
 	dataMap[key.Data] = e
-	s.adjustMem(at, v.Size)
+	s.adjustMem(sh, at, v.Size)
+	sh.maybeCompactTTL()
 }
 
 // Get fetches the datum for key, counting one consumer. It returns the
 // value, the tier it was served from, and whether it was found.
 func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireLocked(at)
-	if dataMap := s.fnMap(key); dataMap != nil {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.expireLocked(sh, at)
+	if dataMap := sh.fnMap(key); dataMap != nil {
 		if e, ok := dataMap[key.Data]; ok {
-			s.stats.MemHits++
+			sh.stats.MemHits++
 			e.remaining--
+			val := e.val
 			if e.remaining <= 0 && !s.opts.DisableProactive {
 				delete(dataMap, key.Data)
-				s.adjustMem(at, -e.val.Size)
-				s.stats.ProactiveReleases++
-				s.gcEmpty(key)
+				s.adjustMem(sh, at, -val.Size)
+				sh.stats.ProactiveReleases++
+				sh.gcEmpty(key)
+				// The entry may sit in the expiry heap until its TTL fires
+				// or a compaction sweeps it; drop the payload now so only
+				// the skeleton (the identity the lazy-discard check needs)
+				// stays pinned.
+				e.val = dataflow.Value{}
+				if e.hasTTL {
+					sh.ttlStale++
+				}
 			}
-			return e.val, Memory, true
+			return val, Memory, true
 		}
 	}
-	if e, ok := s.disk[key]; ok {
-		s.stats.DiskHits++
-		e.remaining--
-		if e.remaining <= 0 && !s.opts.DisableProactive {
-			delete(s.disk, key)
-			s.diskBytes -= e.val.Size
+	if reqDisk := sh.disk[key.ReqID]; reqDisk != nil {
+		if e, ok := reqDisk[key]; ok {
+			sh.stats.DiskHits++
+			e.remaining--
+			if e.remaining <= 0 && !s.opts.DisableProactive {
+				delete(reqDisk, key)
+				if len(reqDisk) == 0 {
+					delete(sh.disk, key.ReqID)
+				}
+				s.diskBytes.Add(-e.val.Size)
+			}
+			return e.val, Disk, true
 		}
-		return e.val, Disk, true
 	}
-	s.stats.Misses++
+	sh.stats.Misses++
 	return dataflow.Value{}, Miss, false
 }
 
 // Peek returns the value without consuming it.
 func (s *Sink) Peek(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireLocked(at)
-	if dataMap := s.fnMap(key); dataMap != nil {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.expireLocked(sh, at)
+	if dataMap := sh.fnMap(key); dataMap != nil {
 		if e, ok := dataMap[key.Data]; ok {
 			return e.val, Memory, true
 		}
 	}
-	if e, ok := s.disk[key]; ok {
-		return e.val, Disk, true
+	if reqDisk := sh.disk[key.ReqID]; reqDisk != nil {
+		if e, ok := reqDisk[key]; ok {
+			return e.val, Disk, true
+		}
 	}
 	return dataflow.Value{}, Miss, false
 }
 
 // ReleaseRequest drops every entry of a request from both tiers (end-of-
 // request cleanup; the control-flow baselines use this as their only release
-// point).
+// point, and core.Invocation teardown drives it as the spill tier's GC).
+// Cost is O(shards + entries of the request): the spill tier is indexed by
+// request, so other requests' entries are never scanned.
 func (s *Sink) ReleaseRequest(at time.Duration, reqID string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if fnMap, ok := s.mem[reqID]; ok {
-		for _, dataMap := range fnMap {
-			for _, e := range dataMap {
-				s.adjustMem(at, -e.val.Size)
-			}
-		}
-		delete(s.mem, reqID)
-	}
-	for k, e := range s.disk {
-		if k.ReqID == reqID {
-			s.diskBytes -= e.val.Size
-			delete(s.disk, k)
-		}
-	}
-}
-
-// ExpireSweep runs the passive-expire policy at time at and returns how many
-// entries were spilled to disk.
-func (s *Sink) ExpireSweep(at time.Duration) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.expireLocked(at)
-}
-
-// expireLocked moves TTL-exceeded entries from memory to the spill tier.
-func (s *Sink) expireLocked(at time.Duration) int {
-	if s.opts.TTL <= 0 {
-		return 0
-	}
-	n := 0
-	for reqID, fnMap := range s.mem {
-		for fn, dataMap := range fnMap {
-			for data, e := range dataMap {
-				if !e.hasTTL || e.expiresAt > at {
-					continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		// Since we're visiting every stripe anyway, apply pending
+		// expirations: this bounds how long a past-TTL entry on a quiet
+		// shard can stay charged to the memory tier by the inter-request
+		// gap (sink-wide), not by that shard's own access gap.
+		s.expireLocked(sh, at)
+		if fnMap, ok := sh.mem[reqID]; ok {
+			for _, dataMap := range fnMap {
+				for _, e := range dataMap {
+					s.adjustMem(sh, at, -e.val.Size)
+					e.val = dataflow.Value{} // may still be heap-pinned
+					if e.hasTTL {
+						sh.ttlStale++
+					}
 				}
-				delete(dataMap, data)
-				s.adjustMem(at, -e.val.Size)
-				s.disk[Key{ReqID: reqID, Fn: fn, Data: data}] = e
-				s.diskBytes += e.val.Size
-				s.stats.Expirations++
-				n++
 			}
-			if len(dataMap) == 0 {
-				delete(fnMap, fn)
+			delete(sh.mem, reqID)
+		}
+		if reqDisk, ok := sh.disk[reqID]; ok {
+			for _, e := range reqDisk {
+				s.diskBytes.Add(-e.val.Size)
 			}
+			delete(sh.disk, reqID)
 		}
-		if len(fnMap) == 0 {
-			delete(s.mem, reqID)
-		}
+		sh.mu.Unlock()
+	}
+}
+
+// ExpireSweep runs the passive-expire policy on every shard at time at and
+// returns how many entries expired (spilled to disk or, when already fully
+// consumed, dropped).
+func (s *Sink) ExpireSweep(at time.Duration) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += s.expireLocked(sh, at)
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-func (s *Sink) fnMap(key Key) map[string]*entry {
-	fnMap := s.mem[key.ReqID]
-	if fnMap == nil {
-		return nil
-	}
-	return fnMap[key.Fn]
-}
-
-func (s *Sink) gcEmpty(key Key) {
-	fnMap := s.mem[key.ReqID]
-	if fnMap == nil {
-		return
-	}
-	if dataMap := fnMap[key.Fn]; dataMap != nil && len(dataMap) == 0 {
-		delete(fnMap, key.Fn)
-	}
-	if len(fnMap) == 0 {
-		delete(s.mem, key.ReqID)
-	}
-}
-
-func (s *Sink) adjustMem(at time.Duration, delta int64) {
-	s.memBytes += delta
-	if s.memBytes > s.stats.PeakMemBytes {
-		s.stats.PeakMemBytes = s.memBytes
-	}
-	s.memInt.Set(at, metrics.BytesToMB(s.memBytes))
-}
-
 // MemBytes returns current memory-tier occupancy in bytes.
-func (s *Sink) MemBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.memBytes
-}
+func (s *Sink) MemBytes() int64 { return s.memBytes.Load() }
 
 // DiskBytes returns current spill-tier occupancy in bytes.
-func (s *Sink) DiskBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.diskBytes
-}
+func (s *Sink) DiskBytes() int64 { return s.diskBytes.Load() }
 
 // MemIntegralMBs returns the memory occupancy integral in MB·s up to at.
+// Pending expirations are applied first so entries past their TTL are
+// charged to the spill tier, then the per-shard integrals (which sum
+// exactly to the whole-sink integral) are extended to at and merged.
 func (s *Sink) MemIntegralMBs(at time.Duration) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.memInt.Finish(at)
+	total := 0.0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		s.expireLocked(sh, at)
+		total += sh.memInt.Finish(at)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, merged across shards.
 func (s *Sink) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	var out Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.Merge(sh.stats)
+		sh.mu.Unlock()
+	}
+	out.PeakMemBytes = s.peakMem.Load()
+	return out
 }
 
 // Len returns the number of memory-tier entries (for tests).
 func (s *Sink) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, fnMap := range s.mem {
-		for _, dataMap := range fnMap {
-			n += len(dataMap)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, fnMap := range sh.mem {
+			for _, dataMap := range fnMap {
+				n += len(dataMap)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

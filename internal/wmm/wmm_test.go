@@ -109,10 +109,14 @@ func TestPassiveExpireSpillsToDisk(t *testing.T) {
 func TestExpireRunsLazilyOnAccess(t *testing.T) {
 	s := NewSink(Options{TTL: time.Second})
 	s.Put(0, k("r1", "f", "x"), v(50), 1)
-	// A Put far in the future triggers the sweep implicitly.
-	s.Put(time.Minute, k("r1", "f", "y"), v(10), 1)
-	if s.DiskBytes() != 50 {
-		t.Fatalf("disk = %d, want 50 (x spilled)", s.DiskBytes())
+	// No explicit sweep: the access itself applies the pending expiry, so a
+	// late consumer is served from the spill tier and charged accordingly.
+	got, tier, ok := s.Peek(time.Minute, k("r1", "f", "x"))
+	if !ok || tier != Disk || got.Size != 50 {
+		t.Fatalf("peek = %v %v %v, want disk hit", got, tier, ok)
+	}
+	if s.DiskBytes() != 50 || s.MemBytes() != 0 {
+		t.Fatalf("disk = %d mem = %d, want 50/0 (x spilled)", s.DiskBytes(), s.MemBytes())
 	}
 }
 
@@ -137,6 +141,139 @@ func TestReleaseRequestDropsBothTiers(t *testing.T) {
 	}
 	if s.MemBytes() != 0 {
 		t.Fatalf("mem = %d", s.MemBytes())
+	}
+}
+
+// Regression: spilled entries must leave the disk tier once the last
+// consumer has fetched them — diskBytes returns to 0 with no explicit
+// sweep or request teardown needed.
+func TestDiskReleasedAfterAllConsumersFetch(t *testing.T) {
+	s := NewSink(Options{TTL: time.Second})
+	s.Put(0, k("r1", "f", "x"), v(100), 3)
+	if n := s.ExpireSweep(2 * time.Second); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	if s.DiskBytes() != 100 {
+		t.Fatalf("disk = %d, want 100", s.DiskBytes())
+	}
+	for i := 0; i < 3; i++ {
+		_, tier, ok := s.Get(3*time.Second, k("r1", "f", "x"))
+		if !ok || tier != Disk {
+			t.Fatalf("consumer %d: tier=%v ok=%v", i, tier, ok)
+		}
+	}
+	if s.DiskBytes() != 0 {
+		t.Fatalf("disk = %d after all consumers fetched, want 0", s.DiskBytes())
+	}
+}
+
+// Regression: with DisableProactive a fully-consumed memory entry used to be
+// spilled at expiry and then sit on disk until request teardown — in a
+// long-running system that never tears the request down, the spill tier grew
+// without bound. Such entries are dropped at expiry instead.
+func TestFullyConsumedEntryDroppedAtExpiry(t *testing.T) {
+	s := NewSink(Options{TTL: time.Second, DisableProactive: true})
+	s.Put(0, k("r1", "f", "x"), v(100), 1)
+	s.Get(0, k("r1", "f", "x")) // last consumer; entry stays (proactive off)
+	if s.MemBytes() != 100 {
+		t.Fatalf("mem = %d, want entry retained under DisableProactive", s.MemBytes())
+	}
+	if n := s.ExpireSweep(2 * time.Second); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	if s.MemBytes() != 0 || s.DiskBytes() != 0 {
+		t.Fatalf("mem = %d disk = %d after expiry of consumed entry, want 0/0",
+			s.MemBytes(), s.DiskBytes())
+	}
+	// A not-yet-consumed entry still spills normally.
+	s.Put(3*time.Second, k("r1", "f", "y"), v(40), 1)
+	s.ExpireSweep(5 * time.Second)
+	if s.DiskBytes() != 40 {
+		t.Fatalf("disk = %d, want unconsumed entry spilled", s.DiskBytes())
+	}
+	s.ReleaseRequest(6*time.Second, "r1")
+	if s.DiskBytes() != 0 {
+		t.Fatalf("disk = %d after ReleaseRequest, want 0", s.DiskBytes())
+	}
+}
+
+// Regression: re-putting a key must supersede a TTL-spilled disk copy as
+// well, or the stale value stays servable from disk (and double-counted)
+// after the fresh one is consumed.
+func TestPutSupersedesSpilledCopy(t *testing.T) {
+	s := NewSink(Options{TTL: time.Second})
+	s.Put(0, k("r1", "f", "x"), v(100), 1)
+	s.ExpireSweep(2 * time.Second) // v1 spills to disk
+	s.Put(3*time.Second, k("r1", "f", "x"), v(60), 1)
+	if s.DiskBytes() != 0 {
+		t.Fatalf("disk = %d after re-put, want stale copy dropped", s.DiskBytes())
+	}
+	got, tier, ok := s.Get(3*time.Second, k("r1", "f", "x"))
+	if !ok || tier != Memory || got.Size != 60 {
+		t.Fatalf("get = %v %v %v, want fresh 60B from memory", got, tier, ok)
+	}
+	if _, _, ok := s.Get(3*time.Second, k("r1", "f", "x")); ok {
+		t.Fatal("released key still served (stale disk copy survived)")
+	}
+}
+
+// Regression: an entry released from the maps can stay referenced by the
+// expiry heap until its TTL fires; the payload must be dropped at release
+// so only the entry skeleton stays pinned (with a 60s TTL and fast
+// consumers, pinned payloads would otherwise dwarf the reported MemBytes).
+func TestReleasedEntryPayloadUnpinned(t *testing.T) {
+	s := NewSink(Options{TTL: time.Hour, Shards: 1})
+	payload := make([]byte, 1024)
+	key := k("r1", "f", "x")
+	s.Put(0, key, dataflow.Value{Size: 1024, Payload: payload}, 1)
+	s.Get(0, key) // proactive release; heap still holds the entry
+	s.Put(0, k("r1", "f", "y"), dataflow.Value{Size: 8, Payload: payload}, 1)
+	s.Put(0, k("r1", "f", "y"), dataflow.Value{Size: 8}, 1) // replace
+	s.ReleaseRequest(0, "r1")                               // drops y
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.ttl) != 3 {
+		t.Fatalf("heap holds %d entries, want all 3 skeletons", len(sh.ttl))
+	}
+	for _, e := range sh.ttl {
+		if e.val.Payload != nil || e.val.Size != 0 {
+			t.Fatalf("entry %v still pins its payload: %+v", e.key, e.val)
+		}
+	}
+}
+
+// Regression: lazy heap deletion must not let stale skeletons accumulate
+// for the whole TTL window — compaction keeps the heap proportional to the
+// live entry count (without it, 200 consumed entries leave 200 skeletons
+// pinned for an hour here).
+func TestHeapCompactionBoundsStaleSkeletons(t *testing.T) {
+	s := NewSink(Options{TTL: time.Hour, Shards: 1})
+	for i := 0; i < 200; i++ {
+		key := k("r", "f", fmt.Sprintf("d%d", i))
+		s.Put(0, key, v(8), 1)
+		s.Get(0, key) // consumed immediately; skeleton left in the heap
+	}
+	s.Put(0, k("r", "f", "fresh"), v(8), 1)
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.ttl) > compactMinHeap {
+		t.Fatalf("heap holds %d items, want compaction to keep it under %d",
+			len(sh.ttl), compactMinHeap)
+	}
+	if sh.ttlStale > len(sh.ttl) {
+		t.Fatalf("stale counter %d exceeds heap size %d", sh.ttlStale, len(sh.ttl))
+	}
+}
+
+func TestShardsRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {1, 1}, {2, 2}, {5, 8}, {32, 32}, {33, 64},
+	} {
+		if got := NewSink(Options{Shards: tc.in}).Shards(); got != tc.want {
+			t.Errorf("Shards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
 	}
 }
 
