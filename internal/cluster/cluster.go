@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/dataflow"
 	"repro/internal/metrics"
 	"repro/internal/pipe"
 	"repro/internal/wmm"
@@ -69,6 +70,17 @@ func (s State) String() string {
 	}
 }
 
+// DLUQueueDepth is the task buffer of a container's DLU daemon.
+const DLUQueueDepth = 256
+
+// DLUTask is one batch of routed items queued to a container's DLU daemon.
+// Ref carries the engine's request handle; it is typed any but always holds
+// a pointer, so enqueuing a task by value never allocates.
+type DLUTask struct {
+	Ref   any
+	Items []dataflow.Item
+}
+
 // Container hosts one function's FLU threads and DLU daemon.
 type Container struct {
 	ID   string
@@ -85,6 +97,52 @@ type Container struct {
 	idleSince   time.Time
 	dluPending  int64 // bytes the DLU still has to pump (consistency rule)
 	invocations int64
+
+	// DLU daemon state. The container owns its queue and lifecycle — started
+	// lazily on first enqueue, closed when the container is recycled or the
+	// engine shuts down — so the engine needs no global channel registry.
+	// Senders hold dluMu across the channel send and DLUClose takes the same
+	// mutex, so an enqueue can never race a close into a send-on-closed-
+	// channel panic; a close issued while the queue is full simply waits for
+	// the daemon to drain the blocked send.
+	dluMu     sync.Mutex
+	dluCh     chan DLUTask
+	dluClosed bool
+}
+
+// DLUEnqueue hands one task to the container's DLU daemon queue. queue is
+// non-nil for exactly the call that created it: that caller must start the
+// daemon goroutine draining it (under its own lifecycle tracking). ok is
+// false — and the task not enqueued — once the queue is closed (container
+// recycled or engine shut down); the caller is then responsible for
+// unwinding any accounting it did for the dropped task.
+func (c *Container) DLUEnqueue(task DLUTask) (queue <-chan DLUTask, ok bool) {
+	c.dluMu.Lock()
+	defer c.dluMu.Unlock()
+	if c.dluClosed {
+		return nil, false
+	}
+	if c.dluCh == nil {
+		c.dluCh = make(chan DLUTask, DLUQueueDepth)
+		queue = c.dluCh
+	}
+	c.dluCh <- task
+	return queue, true
+}
+
+// DLUClose closes the container's DLU queue; the daemon exits once it has
+// drained the remaining tasks. Idempotent and safe concurrently with
+// DLUEnqueue (late enqueues are refused, never panicked).
+func (c *Container) DLUClose() {
+	c.dluMu.Lock()
+	defer c.dluMu.Unlock()
+	if c.dluClosed {
+		return
+	}
+	c.dluClosed = true
+	if c.dluCh != nil {
+		close(c.dluCh)
+	}
 }
 
 // State returns the container state.
@@ -151,6 +209,13 @@ type Node struct {
 
 	mu         sync.Mutex
 	containers map[string][]*Container // fn -> containers
+	// idle is the per-function free-list of idle containers, kept LIFO so
+	// the most recently used container (warmest caches, freshest keep-alive)
+	// is acquired first. Invariant under mu: a container is in its
+	// function's stack iff its state is Idle, exactly once — so AcquireIdle
+	// is O(1) instead of a scan of all containers.
+	idle       map[string][]*Container
+	dluShut    bool // set by CloseDLUs: containers born afterwards start closed
 	nextID     int64
 	memInUse   int64
 	memInt     *metrics.Integral
@@ -175,6 +240,7 @@ func NewNode(name string, opts Options) *Node {
 		NIC:        nic,
 		Sink:       wmm.NewSink(wmm.Options{TTL: opts.SinkTTL, Shards: opts.SinkShards}),
 		containers: make(map[string][]*Container),
+		idle:       make(map[string][]*Container),
 		memInt:     metrics.NewIntegral(),
 		started:    clk.Now(),
 	}
@@ -188,20 +254,30 @@ func (n *Node) Clock() clock.Clock { return n.clk }
 func (n *Node) Elapsed() time.Duration { return n.clk.Since(n.started) }
 
 // AcquireIdle returns an idle container for fn, marking it busy. ok is
-// false when none is idle.
+// false when none is idle. O(1): it pops the function's idle free-list
+// instead of scanning every container.
 func (n *Node) AcquireIdle(fn string) (*Container, bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, c := range n.containers[fn] {
+	stack := n.idle[fn]
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack[len(stack)-1] = nil
+		stack = stack[:len(stack)-1]
 		c.mu.Lock()
 		if c.state == Idle {
 			c.state = Busy
 			c.invocations++
 			c.mu.Unlock()
+			n.idle[fn] = stack
+			n.mu.Unlock()
 			return c, true
 		}
+		// Defensive: the free-list invariant says this cannot happen, but a
+		// non-idle entry is simply dropped rather than handed out.
 		c.mu.Unlock()
 	}
+	n.idle[fn] = stack
+	n.mu.Unlock()
 	return nil, false
 }
 
@@ -223,6 +299,9 @@ func (n *Node) StartContainer(fn string, spec Spec) *Container {
 		state:   Busy,
 	}
 	c.invocations = 1
+	// A container born after CloseDLUs (engine shutdown racing a cold
+	// start) must never open a DLU queue nobody will drain.
+	c.dluClosed = n.dluShut
 	n.containers[fn] = append(n.containers[fn], c)
 	n.coldStarts++
 	n.adjustMemLocked(spec.MemoryBytes())
@@ -230,14 +309,38 @@ func (n *Node) StartContainer(fn string, spec Spec) *Container {
 	return c
 }
 
-// Release returns a busy container to the idle pool.
+// Release returns a busy container to the idle pool, pushing it onto its
+// function's free-list.
 func (n *Node) Release(c *Container) {
+	n.mu.Lock()
 	c.mu.Lock()
 	if c.state == Busy {
 		c.state = Idle
-		c.idleSince = n.clk.Now()
+		if n.opts.KeepAlive > 0 {
+			c.idleSince = n.clk.Now() // only the reaper reads idleSince
+		}
+		n.idle[c.Fn] = append(n.idle[c.Fn], c)
 	}
 	c.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// CloseDLUs closes every container's DLU queue and marks the node so
+// containers started later are born closed. Engine shutdown calls this
+// once no more useful work can be enqueued; daemons exit after draining.
+func (n *Node) CloseDLUs() {
+	n.mu.Lock()
+	n.dluShut = true
+	var all []*Container
+	for _, list := range n.containers {
+		all = append(all, list...)
+	}
+	n.mu.Unlock()
+	// Close outside n.mu: a close can wait on a sender draining a full
+	// queue, and that drain must not need the node lock.
+	for _, c := range all {
+		c.DLUClose()
+	}
 }
 
 // ReapIdle recycles idle containers whose keep-alive expired, skipping any
@@ -249,10 +352,10 @@ func (n *Node) ReapIdle() int {
 	}
 	now := n.clk.Now()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	reaped := 0
+	var recycled []*Container
 	for fn, list := range n.containers {
 		var keep []*Container
+		reapedFn := 0
 		for _, c := range list {
 			c.mu.Lock()
 			expired := c.state == Idle &&
@@ -260,7 +363,8 @@ func (n *Node) ReapIdle() int {
 				c.dluPending == 0
 			if expired {
 				c.state = Recycled
-				reaped++
+				reapedFn++
+				recycled = append(recycled, c)
 				n.adjustMemLocked(-c.Spec.MemoryBytes())
 			} else {
 				keep = append(keep, c)
@@ -268,8 +372,30 @@ func (n *Node) ReapIdle() int {
 			c.mu.Unlock()
 		}
 		n.containers[fn] = keep
+		if reapedFn > 0 {
+			// Prune the recycled entries from the free-list, preserving the
+			// LIFO order of the survivors.
+			q := n.idle[fn][:0]
+			for _, c := range n.idle[fn] {
+				c.mu.Lock()
+				if c.state == Idle {
+					q = append(q, c)
+				}
+				c.mu.Unlock()
+			}
+			for i := len(q); i < len(n.idle[fn]); i++ {
+				n.idle[fn][i] = nil
+			}
+			n.idle[fn] = q
+		}
 	}
-	return reaped
+	n.mu.Unlock()
+	// Stop the recycled containers' DLU daemons outside the locks (the reap
+	// rule guarantees their queues are already drained: dluPending was 0).
+	for _, c := range recycled {
+		c.DLUClose()
+	}
+	return len(recycled)
 }
 
 // Containers returns the number of live containers for fn (all states

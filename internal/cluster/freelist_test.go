@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestIdleFreeListConcurrency hammers AcquireIdle/Release/ReapIdle from
+// many goroutines and checks the pool invariants stay exact: every acquire
+// returns a container in the Busy state that no other goroutine holds,
+// MemInUse always equals live containers times the spec size, and the
+// free-list never hands out a recycled container. Run with -race in CI.
+func TestIdleFreeListConcurrency(t *testing.T) {
+	const (
+		workers = 16
+		iters   = 300
+		fnCount = 3
+	)
+	spec := Spec{MemoryMB: 128}
+	n := NewNode("w1", Options{KeepAlive: time.Microsecond})
+
+	var wg sync.WaitGroup
+	var held atomic.Int64 // containers currently held Busy by workers
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn := fmt.Sprintf("f%d", w%fnCount)
+			for i := 0; i < iters; i++ {
+				c, warm := n.AcquireIdle(fn)
+				if !warm {
+					c = n.StartContainer(fn, spec)
+				}
+				if got := c.State(); got != Busy {
+					t.Errorf("acquired container in state %v", got)
+					return
+				}
+				if c.Fn != fn {
+					t.Errorf("free-list handed %s a container of %s", fn, c.Fn)
+					return
+				}
+				held.Add(1)
+				if i%7 == 0 {
+					c.AddDLUPending(64)
+				}
+				held.Add(-1)
+				if i%7 == 0 {
+					c.AddDLUPending(-64)
+				}
+				n.Release(c)
+				if i%11 == 0 {
+					n.ReapIdle()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n.ReapIdle()
+
+	// Quiescent invariants: memory accounting matches the live container
+	// count exactly, across all functions.
+	live := n.Containers("")
+	if want := int64(live) * spec.MemoryBytes(); n.MemInUse() != want {
+		t.Fatalf("MemInUse = %d, want %d (%d live containers)", n.MemInUse(), want, live)
+	}
+	// Draining the free-list returns each live idle container exactly once.
+	seen := map[*Container]bool{}
+	acquired := 0
+	for f := 0; f < fnCount; f++ {
+		fn := fmt.Sprintf("f%d", f)
+		for {
+			c, ok := n.AcquireIdle(fn)
+			if !ok {
+				break
+			}
+			if seen[c] {
+				t.Fatalf("container %s handed out twice", c.ID)
+			}
+			seen[c] = true
+			acquired++
+		}
+	}
+	if acquired != live {
+		t.Fatalf("free-list drained %d containers, %d live", acquired, live)
+	}
+}
+
+// TestReapIdlePrunesFreeList pins that a recycled container leaves the
+// free-list: after keep-alive expiry, AcquireIdle must cold-miss rather
+// than hand out a Recycled container, and memory accounting must drop.
+func TestReapIdlePrunesFreeList(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	n := NewNode("w1", Options{KeepAlive: 10 * time.Millisecond, Clock: clk})
+	c := n.StartContainer("f", Spec{MemoryMB: 128})
+	n.Release(c)
+	clk.Advance(20 * time.Millisecond)
+	if reaped := n.ReapIdle(); reaped != 1 {
+		t.Fatalf("reaped %d, want 1", reaped)
+	}
+	if c.State() != Recycled {
+		t.Fatalf("state = %v, want recycled", c.State())
+	}
+	if _, ok := n.AcquireIdle("f"); ok {
+		t.Fatal("AcquireIdle returned a recycled container")
+	}
+	if n.MemInUse() != 0 {
+		t.Fatalf("MemInUse = %d after reap", n.MemInUse())
+	}
+	if n.Containers("f") != 0 {
+		t.Fatalf("Containers = %d after reap", n.Containers("f"))
+	}
+}
+
+// TestDLUCloseRefusesLateEnqueue pins the container-owned close protocol:
+// an enqueue racing a close must be refused, never panic, and the daemon
+// must drain what was accepted.
+func TestDLUCloseRefusesLateEnqueue(t *testing.T) {
+	n := NewNode("w1", Options{})
+	c := n.StartContainer("f", Spec{MemoryMB: 128})
+
+	var drained atomic.Int64
+	var daemon sync.WaitGroup
+	queue, ok := c.DLUEnqueue(DLUTask{})
+	if !ok || queue == nil {
+		t.Fatal("first enqueue must open the queue")
+	}
+	daemon.Add(1)
+	go func() {
+		defer daemon.Done()
+		for range queue {
+			drained.Add(1)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	accepted := int64(1) // the opening enqueue
+	var acceptedMu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if q, ok := c.DLUEnqueue(DLUTask{}); ok {
+					if q != nil {
+						t.Error("queue reopened after first use")
+						return
+					}
+					acceptedMu.Lock()
+					accepted++
+					acceptedMu.Unlock()
+				} else {
+					return // closed: every later enqueue must also refuse
+				}
+			}
+		}()
+	}
+	c.DLUClose()
+	wg.Wait()
+	c.DLUClose() // idempotent
+	if _, ok := c.DLUEnqueue(DLUTask{}); ok {
+		t.Fatal("enqueue accepted after close")
+	}
+	daemon.Wait()
+	if drained.Load() != accepted {
+		t.Fatalf("daemon drained %d tasks, %d accepted", drained.Load(), accepted)
+	}
+}

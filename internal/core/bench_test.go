@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/workflow"
+)
+
+const benchDSL = `
+workflow bench
+function a
+  input in from $USER
+  output x to b.x
+function b
+  input x
+  output out to $USER
+`
+
+// newBenchSystem builds the benchmark system: a two-function chain placed
+// round-robin over a 4-node cluster (a and b land on different nodes, so
+// every request crosses the pipe connector path), fast containers, no trace.
+func newBenchSystem(b *testing.B) *System {
+	b.Helper()
+	wf, err := workflow.ParseDSLString(benchDSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := cluster.NewCluster(nil)
+	for i := 1; i <= 4; i++ {
+		if err := cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i), cluster.Options{})); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sys, err := NewSystem(Config{
+		Workflow:    wf,
+		Cluster:     cl,
+		DefaultSpec: cluster.Spec{MemoryMB: 10 * 1024},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reg(sys.Register("a", func(ctx *Context) error {
+		in, err := ctx.Input("in")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("x", in)
+	}))
+	reg(sys.Register("b", func(ctx *Context) error {
+		x, err := ctx.Input("x")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("out", x)
+	}))
+	return sys
+}
+
+// BenchmarkInvokeThroughput measures the runtime-plane control path: many
+// goroutines issuing complete small-payload workflow requests (Invoke →
+// schedule → container acquire → handler → DLU ship → land → deliver →
+// teardown GC) against one System. The payload is tiny so the engine's
+// per-request coordination — not data movement — dominates.
+func BenchmarkInvokeThroughput(b *testing.B) {
+	payload := []byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	for _, g := range []int{1, 8, 16, 64} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			sys := newBenchSystem(b)
+			defer sys.Shutdown()
+			// Warm the container pools so cold-start noise stays out.
+			warm, err := sys.Invoke(map[string][]byte{"a.in": payload})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := warm.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			perG := b.N/g + 1
+			var wg sync.WaitGroup
+			errs := make([]error, g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for w := 0; w < g; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Invoke does not retain the input map; a real client
+					// issuing a request stream reuses its buffer.
+					in := map[string][]byte{"a.in": payload}
+					for i := 0; i < perG; i++ {
+						inv, err := sys.Invoke(in)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						if err := inv.Wait(); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkSinkKeyFormat pins the allocation cost of deriving a Wait-Match
+// Memory key from an item's addressing — paid once per shipped item on the
+// ship/land hot path plus once per consumed input in runInstance.
+func BenchmarkSinkKeyFormat(b *testing.B) {
+	it := dataflow.Item{
+		From:   dataflow.InstanceKey{Fn: "resize", Idx: 7},
+		Output: "frames",
+		To:     dataflow.InstanceKey{Fn: "encode", Idx: 12},
+		Input:  "chunks",
+		Value:  dataflow.Value{Size: 64},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sinkKey("req-123456", it)
+		if k.Fn != "encode" {
+			b.Fatal("bad key")
+		}
+	}
+}
+
+// BenchmarkFLUStatPath pins the per-completion FLU-stat update plus the
+// pressure-path read (Eq. 1's T_FLU), the two control-plane touches every
+// handler completion and every Context.Put pay.
+func BenchmarkFLUStatPath(b *testing.B) {
+	sys := newBenchSystem(b)
+	defer sys.Shutdown()
+	inv, err := sys.Invoke(map[string][]byte{"a.in": []byte("x")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if sys.FLUAvg("a") < 0 {
+				b.Fatal("negative avg")
+			}
+		}
+	})
+}

@@ -32,7 +32,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -88,40 +91,100 @@ type Config struct {
 	ReapInterval time.Duration
 }
 
-// System is one deployed workflow.
+// System is one deployed workflow. Its control path is deliberately free of
+// any system-global mutex: per-request state lives in a striped invocation
+// table, per-function state is resolved once at NewSystem into immutable
+// fnState records whose counters are atomics, and each container owns its
+// DLU queue — so concurrent Invokes, handler completions, Puts and DLU
+// shipments never serialize on shared engine locks.
 type System struct {
-	cfg      Config
-	wf       *workflow.Workflow
-	routing  cluster.RoutingTable
-	handlers map[string]Handler
-	preds    map[string][]string
+	cfg     Config
+	wf      *workflow.Workflow
+	routing cluster.RoutingTable
+	preds   map[string][]string
+
+	// fns is the per-function control-plane state. The map itself is
+	// immutable after NewSystem (the values carry the mutable atomics), so
+	// hot-path lookups are lock-free.
+	fns    map[string]*fnState
+	fnList []*fnState // declaration order, for deterministic error reporting
+
+	// routedNodes are the unique nodes hosting at least one function — the
+	// only sinks a request can leave residue in, and therefore the only
+	// nodes its teardown needs to sweep.
+	routedNodes []*cluster.Node
 
 	checkLog *pipe.CheckpointLog
 	epoch    time.Time
 
-	mu         sync.Mutex
-	invs       map[string]*Invocation
-	reqSeq     int64
-	flu        map[string]*fluStats
-	sem        map[string]chan struct{} // per-fn instance concurrency cap
-	dlus       map[*cluster.Container]chan dluTask
-	injector   func(streamID string) int64
+	invs   invTable     // striped reqID -> *Invocation index
+	reqSeq atomic.Int64 // request-ID sequence
+
+	// handlersReady flips true once every function has a handler, so the
+	// steady-state Invoke validates with one atomic load instead of
+	// re-walking the function list under a lock.
+	handlersReady atomic.Bool
+	regMu         sync.Mutex // serializes Register bookkeeping (cold path)
+
+	injector atomic.Pointer[func(streamID string) int64]
+
+	// Executor pool: long-lived workers with warm stacks that run instance
+	// executions submitted by scheduleReady. execIdle counts workers
+	// guaranteed to pull the next job; submissions that cannot reserve one
+	// spawn a goroutine instead (see submitInstance).
+	execJobs chan instanceJob
+	execIdle atomic.Int64
+
+	// closeMu orders Invoke admission against Shutdown: Invoke holds the
+	// read side while it registers the request and spawns its first
+	// instances, so when Shutdown's write lock is granted every admitted
+	// request is already counted in bg and later Invokes observe closed.
+	closeMu sync.RWMutex
+	closed  bool
+
 	stopReaper chan struct{}
-	closed     bool
 	bg         sync.WaitGroup
 }
 
-// fluStats tracks the running average FLU execution time (T_FLU in Eq. 1).
-type fluStats struct {
-	total time.Duration
-	count int64
+// fnState is one function's control-plane record, resolved at NewSystem:
+// host node, container spec, concurrency cap, the registered handler and
+// the running FLU execution-time average (T_FLU in Eq. 1). The counters are
+// atomics so the post-handler update and the Put pressure read take no lock.
+type fnState struct {
+	name string
+	node *cluster.Node
+	spec cluster.Spec
+	sem  chan struct{} // instance concurrency cap
+
+	handler atomic.Pointer[Handler]
+
+	fluNanos atomic.Int64
+	fluCount atomic.Int64
 }
 
-func (f *fluStats) avg() time.Duration {
-	if f.count == 0 {
+// handlerFn returns the registered handler, or nil.
+func (f *fnState) handlerFn() Handler {
+	if p := f.handler.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// avg returns the running average FLU execution time. The two loads are not
+// mutually atomic; T_FLU is a scaling heuristic and tolerates a one-sample
+// skew.
+func (f *fnState) avg() time.Duration {
+	n := f.fluCount.Load()
+	if n == 0 {
 		return 0
 	}
-	return f.total / time.Duration(f.count)
+	return time.Duration(f.fluNanos.Load() / n)
+}
+
+// observe folds one handler execution into the running average.
+func (f *fnState) observe(d time.Duration) {
+	f.fluNanos.Add(int64(d))
+	f.fluCount.Add(1)
 }
 
 // NewSystem validates the workflow, places functions on the cluster's nodes
@@ -163,18 +226,42 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:      cfg,
 		wf:       cfg.Workflow,
 		routing:  routing,
-		handlers: make(map[string]Handler),
 		preds:    preds,
 		checkLog: pipe.NewCheckpointLog(),
 		epoch:    time.Now(),
-		invs:     make(map[string]*Invocation),
-		flu:      make(map[string]*fluStats),
-		sem:      make(map[string]chan struct{}),
-		dlus:     make(map[*cluster.Container]chan dluTask),
+		fns:      make(map[string]*fnState, len(fns)),
 	}
+	s.invs.init()
+	seen := make(map[*cluster.Node]bool)
 	for _, fn := range fns {
-		s.sem[fn] = make(chan struct{}, cfg.MaxContainersPerFn)
-		s.flu[fn] = &fluStats{}
+		node, ok := cfg.Cluster.Node(routing[fn])
+		if !ok {
+			return nil, fmt.Errorf("core: routing maps %s to unknown node %q", fn, routing[fn])
+		}
+		st := &fnState{
+			name: fn,
+			node: node,
+			spec: cfg.DefaultSpec,
+			sem:  make(chan struct{}, cfg.MaxContainersPerFn),
+		}
+		if sp, ok := cfg.Spec[fn]; ok {
+			st.spec = sp
+		}
+		s.fns[fn] = st
+		s.fnList = append(s.fnList, st)
+		if !seen[node] {
+			seen[node] = true
+			s.routedNodes = append(s.routedNodes, node)
+		}
+	}
+	workers := 4 * runtime.GOMAXPROCS(0)
+	if workers < 16 {
+		workers = 16
+	}
+	s.execJobs = make(chan instanceJob, workers)
+	s.execIdle.Store(int64(workers))
+	for i := 0; i < workers; i++ {
+		go s.execWorker()
 	}
 	if cfg.ReapInterval > 0 {
 		s.stopReaper = make(chan struct{})
@@ -209,29 +296,35 @@ func (s *System) reaper() {
 func (s *System) Routing() cluster.RoutingTable { return s.routing.Clone() }
 
 // Register installs the handler for a function. Every workflow function
-// must be registered before Invoke.
+// must be registered before Invoke. Handlers may be re-registered (tests
+// wrap them); running instances keep the handler they loaded at start.
 func (s *System) Register(fn string, h Handler) error {
-	if _, ok := s.wf.Function(fn); !ok {
+	st, ok := s.fns[fn]
+	if !ok {
 		return fmt.Errorf("core: unknown function %q", fn)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.handlers[fn] = h
-	return nil
-}
-
-// spec returns the container spec for fn.
-func (s *System) spec(fn string) cluster.Spec {
-	if sp, ok := s.cfg.Spec[fn]; ok {
-		return sp
+	s.regMu.Lock()
+	st.handler.Store(&h)
+	ready := true
+	for _, f := range s.fnList {
+		if f.handlerFn() == nil {
+			ready = false
+			break
+		}
 	}
-	return s.cfg.DefaultSpec
+	if ready {
+		s.handlersReady.Store(true)
+	}
+	s.regMu.Unlock()
+	return nil
 }
 
 // node returns fn's host node.
 func (s *System) node(fn string) *cluster.Node {
-	n, _ := s.cfg.Cluster.Node(s.routing[fn])
-	return n
+	if st, ok := s.fns[fn]; ok {
+		return st.node
+	}
+	return nil
 }
 
 // now returns time since system epoch (trace/sink timestamps).
@@ -248,19 +341,33 @@ type Invocation struct {
 	ReqID string
 
 	sys     *System
-	tracker *dataflow.Tracker
+	tracker dataflow.Tracker // embedded by value: one allocation per request
 	mu      sync.Mutex
 	done    chan struct{}
 	err     error
 	start   time.Time
 	end     time.Time
-	// attempts counts ReDo attempts per instance.
+	// attempts counts ReDo attempts per instance (allocated on first
+	// failure; the clean path never touches it).
 	attempts map[dataflow.InstanceKey]int
-	// running guards against double-trigger of the same instance.
-	running map[dataflow.InstanceKey]bool
-	// arrived records the items that landed for each instance; broadcast
-	// items are recorded under {Fn, BroadcastIdx}.
-	arrived map[dataflow.InstanceKey][]dataflow.Item
+	// arrived records the items that landed for each instance, paired with
+	// the sink key they were cached under so consumers and teardown never
+	// re-derive it; broadcast items are recorded under {Fn, BroadcastIdx}.
+	// A request touches a handful of instance keys, so a scanned slice
+	// beats a map (no per-request map allocation, no hashing).
+	arrived []arrivedBucket
+
+	// readyScratch is the reusable newly-ready buffer for deliver (always
+	// accessed under mu).
+	readyScratch []dataflow.InstanceKey
+
+	// sinkResidue counts sink entries this request may still own: +1 per
+	// landed Put, -1 per consuming Get that found its entry. A clean
+	// completion with zero residue left nothing in any sink (broadcast
+	// entries are only Peeked, TTL spills are only reclaimed by sweeping, so
+	// both keep the count positive) and teardown can skip the per-node
+	// ReleaseRequest sweep entirely.
+	sinkResidue atomic.Int64
 }
 
 // Done is closed when the request completes (successfully or not).
@@ -325,45 +432,55 @@ func (inv *Invocation) finishLocked() {
 	close(inv.done)
 	inv.sys.traceEvent(trace.ReqCompleted, inv.ReqID, "", 0, "")
 	// End-of-request GC: drop the invocation from the system table and
-	// release its leftover sink entries on every node. Proactive release
-	// normally empties the memory tier earlier; this teardown is what
-	// reclaims TTL-spilled disk entries and the invocation bookkeeping, so
-	// a long-running system does not grow with request count.
-	inv.sys.forgetInvocation(inv.ReqID)
-	for _, name := range inv.sys.cfg.Cluster.Nodes() {
-		if n, ok := inv.sys.cfg.Cluster.Node(name); ok {
-			n.Sink.ReleaseRequest(n.Elapsed(), inv.ReqID)
+	// release its leftover sink entries. Proactive release normally empties
+	// the memory tier earlier; this teardown is what reclaims broadcast
+	// entries (Peeked, never consumed), TTL-spilled disk copies and the
+	// invocation bookkeeping, so a long-running system does not grow with
+	// request count.
+	inv.sys.invs.delete(inv.ReqID)
+	if inv.err == nil {
+		// Clean completion: the only entries a balanced request leaves
+		// behind are its broadcast items, and we know their exact keys from
+		// the arrived log — consume them directly (one stripe lock each)
+		// instead of sweeping every stripe of every routed node. If the
+		// books still don't balance afterwards (an entry TTL-spilled, a
+		// re-put superseded a copy), fall through to the full sweep. A
+		// shipment still in flight self-sweeps when it lands and finds the
+		// request untracked, so skipping the sweep cannot strand it.
+		for i := range inv.arrived {
+			b := &inv.arrived[i]
+			if b.key.Idx != dataflow.BroadcastIdx {
+				continue
+			}
+			node := inv.sys.node(b.key.Fn)
+			at := node.Elapsed()
+			for _, ai := range b.items {
+				if _, _, ok := node.Sink.Get(at, ai.key); ok {
+					inv.sinkResidue.Add(-1)
+				}
+			}
+		}
+		if inv.sinkResidue.Load() == 0 {
+			return
 		}
 	}
-}
-
-// forgetInvocation removes a completed request from the invocation table
-// (callers keep their *Invocation handle; only the system-side tracking is
-// dropped).
-func (s *System) forgetInvocation(reqID string) {
-	s.mu.Lock()
-	delete(s.invs, reqID)
-	s.mu.Unlock()
+	for _, n := range inv.sys.routedNodes {
+		n.Sink.ReleaseRequest(n.Elapsed(), inv.ReqID)
+	}
 }
 
 // tracked reports whether a request is still in the invocation table. A
 // shipment landing for an untracked request must clean up after itself:
-// teardown's ReleaseRequest has already swept the sinks (forgetInvocation
-// happens before the sweep, so "untracked but swept-later" resolves to the
-// sweep covering the late Put).
+// teardown's table delete happens before its sweep, so "untracked but
+// swept-later" resolves to the sweep covering the late Put.
 func (s *System) tracked(reqID string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.invs[reqID]
-	return ok
+	return s.invs.contains(reqID)
 }
 
 // PendingInvocations returns the number of requests still tracked by the
 // system (in flight, or failed before their teardown ran).
 func (s *System) PendingInvocations() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.invs)
+	return s.invs.count()
 }
 
 // SinkStats merges the Wait-Match Memory counters of every cluster node.
@@ -380,39 +497,39 @@ func (s *System) SinkStats() wmm.Stats {
 // Invoke starts one workflow request. input maps "function.input" to the
 // payload for every user entry input.
 func (s *System) Invoke(input map[string][]byte) (*Invocation, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, errors.New("core: system is shut down")
-	}
-	for _, f := range s.wf.Functions {
-		if _, ok := s.handlers[f.Name]; !ok {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("core: function %q has no handler", f.Name)
+	// Steady-state validation is one atomic load; the slow path names the
+	// first unregistered function (or falls through if registration just
+	// completed but the flag is not yet visible).
+	if !s.handlersReady.Load() {
+		for _, st := range s.fnList {
+			if st.handlerFn() == nil {
+				return nil, fmt.Errorf("core: function %q has no handler", st.name)
+			}
 		}
 	}
-	s.reqSeq++
-	reqID := fmt.Sprintf("req-%d", s.reqSeq)
-	inv := &Invocation{
-		ReqID:    reqID,
-		sys:      s,
-		tracker:  dataflow.NewTracker(s.wf, reqID),
-		done:     make(chan struct{}),
-		start:    time.Now(),
-		attempts: make(map[dataflow.InstanceKey]int),
-		running:  make(map[dataflow.InstanceKey]bool),
-		arrived:  make(map[dataflow.InstanceKey][]dataflow.Item),
+	// The read lock spans request registration and the first instance
+	// spawns, so Shutdown (write side) can only observe a fully admitted
+	// request or reject the next one — never a half-scheduled request whose
+	// goroutines escape bg.Wait.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, errors.New("core: system is shut down")
 	}
-	s.invs[reqID] = inv
-	s.mu.Unlock()
+	var idBuf [24]byte
+	reqID := string(strconv.AppendInt(append(idBuf[:0], "req-"...), s.reqSeq.Add(1), 10))
+	inv := &Invocation{
+		ReqID: reqID,
+		sys:   s,
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	inv.tracker.Init(s.wf, reqID)
+	s.invs.put(reqID, inv)
 
 	s.traceEvent(trace.ReqArrived, reqID, "", 0, "")
-	userVals := make(map[string]dataflow.Value, len(input))
-	for k, b := range input {
-		userVals[k] = dataflow.Value{Payload: b, Size: int64(len(b))}
-	}
 	inv.mu.Lock()
-	newly, err := inv.tracker.Start(userVals)
+	newly, err := inv.tracker.StartBytes(input)
 	inv.mu.Unlock()
 	if err != nil {
 		// Run the normal teardown so the rejected invocation does not stay
@@ -424,23 +541,59 @@ func (s *System) Invoke(input map[string][]byte) (*Invocation, error) {
 	return inv, nil
 }
 
-// scheduleReady triggers newly ready instances.
+// scheduleReady triggers newly ready instances. The tracker's ready set
+// (consulted under inv.mu by every deliverAll) hands each instance key out
+// exactly once across the request's lifetime, so no separate double-trigger
+// guard is needed here.
 func (s *System) scheduleReady(inv *Invocation, keys []dataflow.InstanceKey) {
 	for _, key := range keys {
-		key := key
-		inv.mu.Lock()
-		if inv.running[key] {
-			inv.mu.Unlock()
-			continue
-		}
-		inv.running[key] = true
-		inv.mu.Unlock()
 		s.traceEvent(trace.InstanceTriggered, inv.ReqID, key.Fn, key.Idx, "")
-		s.bg.Add(1)
-		go func() {
-			defer s.bg.Done()
-			s.runInstance(inv, key)
-		}()
+		s.submitInstance(inv, key)
+	}
+}
+
+// instanceJob is one instance execution handed to the executor pool.
+type instanceJob struct {
+	inv *Invocation
+	key dataflow.InstanceKey
+}
+
+// submitInstance dispatches one instance execution: onto an idle executor
+// worker when one is guaranteed to pull it, else onto a fresh goroutine.
+// The pool exists to recycle warm goroutine stacks — the instance call
+// chain (handler -> Put -> ship -> deliver) grows a fresh stack every time
+// otherwise — but it must never make an instance wait behind another, since
+// instances block on each other through semaphores and data dependencies;
+// the spawn fallback preserves the goroutine-per-instance semantics.
+func (s *System) submitInstance(inv *Invocation, key dataflow.InstanceKey) {
+	s.bg.Add(1)
+	for {
+		n := s.execIdle.Load()
+		if n <= 0 {
+			go func() {
+				defer s.bg.Done()
+				s.runInstance(inv, key)
+			}()
+			return
+		}
+		if s.execIdle.CompareAndSwap(n, n-1) {
+			// Reserved one worker that is (or is about to be) pulling; the
+			// buffered send cannot block and the job cannot wait behind a
+			// blocked instance.
+			s.execJobs <- instanceJob{inv: inv, key: key}
+			return
+		}
+	}
+}
+
+// execWorker is one executor-pool goroutine: it runs queued instances
+// serially, re-announcing itself idle after each. Workers exit when
+// Shutdown closes the queue (after bg.Wait, so no submitter remains).
+func (s *System) execWorker() {
+	for j := range s.execJobs {
+		s.runInstance(j.inv, j.key)
+		s.bg.Done()
+		s.execIdle.Add(1)
 	}
 }
 
@@ -449,59 +602,64 @@ func (s *System) scheduleReady(inv *Invocation, keys []dataflow.InstanceKey) {
 // the container.
 func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	fn := key.Fn
-	node := s.node(fn)
-	sem := s.sem[fn]
-	sem <- struct{}{}
-	defer func() { <-sem }()
+	st := s.fns[fn]
+	node := st.node
+	st.sem <- struct{}{}
+	defer func() { <-st.sem }()
 
 	ctr, warm := node.AcquireIdle(fn)
 	if !warm {
-		ctr = node.StartContainer(fn, s.spec(fn))
+		ctr = node.StartContainer(fn, st.spec)
 		s.traceEvent(trace.ContainerCold, inv.ReqID, fn, key.Idx, ctr.ID)
 	}
 	defer node.Release(ctr)
 
-	inv.mu.Lock()
-	inputs := inv.tracker.Inputs(key)
-	own := append([]dataflow.Item(nil), inv.arrived[key]...)
-	shared := append([]dataflow.Item(nil), inv.arrived[dataflow.InstanceKey{Fn: fn, Idx: dataflow.BroadcastIdx}]...)
-	inv.mu.Unlock()
-
 	// Consume the instance's data from the Wait-Match Memory so proactive
 	// release can reclaim it. Broadcast data is peeked, not consumed: it is
-	// shared by all instances and dropped at request completion.
-	at := node.Elapsed()
-	for _, it := range own {
-		node.Sink.Get(at, sinkKey(inv.ReqID, it))
+	// shared by all instances and dropped at request completion. The sink
+	// calls nest under inv.mu (shard mutexes are leaf locks, the same order
+	// teardown uses), which spares a defensive copy of the arrived lists.
+	inv.mu.Lock()
+	inputs := inv.tracker.InputsAppend(nil, key)
+	own := inv.arrivedFor(key)
+	shared := inv.arrivedFor(dataflow.InstanceKey{Fn: fn, Idx: dataflow.BroadcastIdx})
+	if len(own)+len(shared) > 0 {
+		at := node.Elapsed()
+		for _, ai := range own {
+			if _, _, ok := node.Sink.Get(at, ai.key); ok {
+				inv.sinkResidue.Add(-1)
+			}
+		}
+		for _, ai := range shared {
+			node.Sink.Peek(at, ai.key)
+		}
 	}
-	for _, it := range shared {
-		node.Sink.Peek(at, sinkKey(inv.ReqID, it))
-	}
+	inv.mu.Unlock()
 
 	limit := s.cfg.RetryLimit
+	h := st.handlerFn()
+	ctx := &Context{
+		ReqID:    inv.ReqID,
+		Instance: key,
+		inputs:   inputs,
+		sys:      s,
+		inv:      inv,
+		ctr:      ctr,
+		fst:      st,
+	}
 	for {
 		s.traceEvent(trace.InstanceStarted, inv.ReqID, fn, key.Idx, "")
-		ctx := &Context{
-			ReqID:    inv.ReqID,
-			Instance: key,
-			inputs:   inputs,
-			sys:      s,
-			inv:      inv,
-			ctr:      ctr,
-			started:  time.Now(),
-		}
-		err := s.handlers[fn](ctx)
-		dur := time.Since(ctx.started)
-		s.mu.Lock()
-		st := s.flu[fn]
-		st.total += dur
-		st.count++
-		s.mu.Unlock()
+		ctx.started = time.Now()
+		err := h(ctx)
+		st.observe(time.Since(ctx.started))
 		if err == nil {
 			s.traceEvent(trace.InstanceFinished, inv.ReqID, fn, key.Idx, "")
 			return
 		}
 		inv.mu.Lock()
+		if inv.attempts == nil {
+			inv.attempts = make(map[dataflow.InstanceKey]int)
+		}
 		inv.attempts[key]++
 		attempts := inv.attempts[key]
 		inv.mu.Unlock()
@@ -509,6 +667,8 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 			inv.fail(fmt.Errorf("core: %s failed after %d attempts: %w", key, attempts, err))
 			return
 		}
-		s.traceEvent(trace.InstanceStarted, inv.ReqID, fn, key.Idx, fmt.Sprintf("redo-%d", attempts))
+		if s.cfg.Trace != nil {
+			s.traceEvent(trace.InstanceStarted, inv.ReqID, fn, key.Idx, fmt.Sprintf("redo-%d", attempts))
+		}
 	}
 }

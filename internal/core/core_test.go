@@ -271,7 +271,7 @@ func TestHandlerReDoOnFailure(t *testing.T) {
 	defer sys.Shutdown()
 	var fails int32
 	// Wrap merge with a once-failing handler.
-	orig := sys.handlers["merge"]
+	orig := sys.fns["merge"].handlerFn()
 	_ = sys.Register("merge", func(ctx *Context) error {
 		if atomic.AddInt32(&fails, 1) == 1 {
 			return errors.New("transient crash")

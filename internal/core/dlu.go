@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -18,16 +20,30 @@ type Context struct {
 	ReqID    string
 	Instance dataflow.InstanceKey
 
-	inputs  map[string][]dataflow.Value
+	// inputs holds the collected values per declared input in declaration
+	// order; functions declare a handful of inputs, so a linear scan beats
+	// building a map per instance run.
+	inputs  []dataflow.InputVals
 	sys     *System
 	inv     *Invocation
 	ctr     *cluster.Container
+	fst     *fnState
 	started time.Time
+}
+
+// inputVals returns the values of the named input and whether it exists.
+func (c *Context) inputVals(name string) ([]dataflow.Value, bool) {
+	for i := range c.inputs {
+		if c.inputs[i].Name == name {
+			return c.inputs[i].Values, true
+		}
+	}
+	return nil, false
 }
 
 // Input returns the single value of a NORMAL input.
 func (c *Context) Input(name string) ([]byte, error) {
-	vals := c.inputs[name]
+	vals, _ := c.inputVals(name)
 	if len(vals) == 0 {
 		return nil, fmt.Errorf("core: input %q has no data", name)
 	}
@@ -38,7 +54,7 @@ func (c *Context) Input(name string) ([]byte, error) {
 // InputList returns all values of a LIST (fan-in) input, ordered by the
 // producing instance (branch order), independent of network arrival order.
 func (c *Context) InputList(name string) ([][]byte, error) {
-	vals, ok := c.inputs[name]
+	vals, ok := c.inputVals(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown input %q", name)
 	}
@@ -56,7 +72,10 @@ func (c *Context) InputList(name string) ([][]byte, error) {
 // detected (Eq. 1), Put blocks the calling FLU for the pressure duration
 // (the Callstack blocking signal) and the engine pre-warms a container.
 func (c *Context) Put(output string, payload []byte) error {
-	return c.put(output, []dataflow.Value{{Payload: payload, Size: int64(len(payload))}}, 0)
+	// Route copies values out without retaining the slice, so the
+	// single-value wrapper stays on this stack.
+	one := [1]dataflow.Value{{Payload: payload, Size: int64(len(payload))}}
+	return c.put(output, one[:], 0)
 }
 
 // PutForeach hands a FOREACH output to the DLU: element i flows to instance
@@ -71,7 +90,8 @@ func (c *Context) PutForeach(output string, payloads [][]byte) error {
 
 // PutSwitch hands a SWITCH output to the DLU, selecting destination case.
 func (c *Context) PutSwitch(output string, payload []byte, switchCase int) error {
-	return c.put(output, []dataflow.Value{{Payload: payload, Size: int64(len(payload))}}, switchCase)
+	one := [1]dataflow.Value{{Payload: payload, Size: int64(len(payload))}}
+	return c.put(output, one[:], switchCase)
 }
 
 func (c *Context) put(output string, values []dataflow.Value, switchCase int) error {
@@ -90,9 +110,7 @@ func (c *Context) put(output string, values []dataflow.Value, switchCase int) er
 	if !s.cfg.DisablePressure && totalSize > 0 {
 		bw := c.ctr.Limiter.Rate()
 		if bw > 0 {
-			s.mu.Lock()
-			tflu := s.flu[c.Instance.Fn].avg()
-			s.mu.Unlock()
+			tflu := c.fst.avg()
 			pressure := time.Duration(s.cfg.Alpha*float64(totalSize)/bw*float64(time.Second)) - tflu
 			if pressure > 0 {
 				s.prewarm(c.Instance.Fn)
@@ -104,17 +122,18 @@ func (c *Context) put(output string, values []dataflow.Value, switchCase int) er
 	}
 	// Hand the items to the container's DLU daemon (FIFO).
 	c.ctr.AddDLUPending(totalSize)
-	s.dluEnqueue(c.ctr, dluTask{inv: inv, items: items})
+	s.dluEnqueue(c.ctr, cluster.DLUTask{Ref: inv, Items: items})
 	return nil
 }
 
 // prewarm starts an extra idle container for fn if none is idle, in the
 // background (the engine's reaction to a pressure notification).
 func (s *System) prewarm(fn string) {
-	node := s.node(fn)
-	if node == nil {
+	st, ok := s.fns[fn]
+	if !ok {
 		return
 	}
+	node := st.node
 	if c, ok := node.AcquireIdle(fn); ok {
 		node.Release(c) // an idle container already exists
 		return
@@ -125,40 +144,43 @@ func (s *System) prewarm(fn string) {
 	s.bg.Add(1)
 	go func() {
 		defer s.bg.Done()
-		c := node.StartContainer(fn, s.spec(fn))
+		c := node.StartContainer(fn, st.spec)
 		node.Release(c)
 	}()
 }
 
-// dluTask is one batch of routed items for a DLU daemon to pump.
-type dluTask struct {
-	inv   *Invocation
-	items []dataflow.Item
-}
-
-// dluEnqueue hands a task to the container's DLU daemon, starting the
-// daemon on first use.
-func (s *System) dluEnqueue(ctr *cluster.Container, task dluTask) {
-	s.mu.Lock()
-	ch, ok := s.dlus[ctr]
+// dluEnqueue hands a task to the container's DLU daemon. The container owns
+// the queue and its close protocol; the system only supplies the daemon
+// goroutine (tracked in bg) when the enqueue reports a freshly created
+// queue. A refused enqueue means the DLU plane is shutting down: the task
+// is dropped and its pending-byte accounting unwound so the keep-alive rule
+// stays exact.
+func (s *System) dluEnqueue(ctr *cluster.Container, task cluster.DLUTask) {
+	queue, ok := ctr.DLUEnqueue(task)
 	if !ok {
-		ch = make(chan dluTask, 256)
-		s.dlus[ctr] = ch
+		for _, it := range task.Items {
+			ctr.AddDLUPending(-it.Value.Size)
+		}
+		return
+	}
+	if queue != nil {
 		s.bg.Add(1)
 		go func() {
 			defer s.bg.Done()
-			s.dluDaemon(ctr, ch)
+			s.dluDaemon(ctr, queue)
 		}()
 	}
-	s.mu.Unlock()
-	ch <- task
 }
 
 // dluDaemon pumps routed items through pipe connectors in FIFO order.
-func (s *System) dluDaemon(ctr *cluster.Container, ch chan dluTask) {
-	for task := range ch {
-		for _, it := range task.items {
-			s.ship(ctr, task.inv, it)
+func (s *System) dluDaemon(ctr *cluster.Container, queue <-chan cluster.DLUTask) {
+	// limScratch is the daemon's reusable limiter pair for cross-node
+	// transfers; per-ship arrays would escape to the heap on every item.
+	var limScratch [2]*pipe.Limiter
+	for task := range queue {
+		inv := task.Ref.(*Invocation)
+		for _, it := range task.Items {
+			s.ship(ctr, inv, it, &limScratch)
 			ctr.AddDLUPending(-it.Value.Size)
 		}
 	}
@@ -166,24 +188,51 @@ func (s *System) dluDaemon(ctr *cluster.Container, ch chan dluTask) {
 
 // sinkKey derives the Wait-Match Memory key of an item deterministically
 // from its addressing, so producers and consumers agree without extra
-// coordination.
+// coordination. Built by hand (one allocation for the key string) because
+// it runs once per shipped item and once per consumed input — the
+// fmt.Sprintf it replaces cost five extra allocations per call.
 func sinkKey(reqID string, it dataflow.Item) wmm.Key {
+	var b strings.Builder
+	b.Grow(len(it.Input) + len(it.From.Fn) + len(it.Output) + 16)
+	b.WriteString(it.Input)
+	b.WriteByte('@')
+	writeInt(&b, it.To.Idx)
+	b.WriteString("<-")
+	writeInstanceKey(&b, it.From)
+	b.WriteByte('.')
+	b.WriteString(it.Output)
 	return wmm.Key{
 		ReqID: reqID,
 		Fn:    it.To.Fn,
-		Data:  fmt.Sprintf("%s@%d<-%s.%s", it.Input, it.To.Idx, it.From, it.Output),
+		Data:  b.String(),
 	}
+}
+
+// writeInt appends n in decimal through a stack buffer (no allocation).
+func writeInt(b *strings.Builder, n int) {
+	var buf [20]byte
+	b.Write(strconv.AppendInt(buf[:0], int64(n), 10))
+}
+
+// writeInstanceKey appends key's fn[idx] form without the fmt machinery.
+func writeInstanceKey(b *strings.Builder, key dataflow.InstanceKey) {
+	b.WriteString(key.Fn)
+	b.WriteByte('[')
+	writeInt(b, key.Idx)
+	b.WriteByte(']')
 }
 
 // ship moves one item to its destination: straight to the user, through the
 // local pipe when src and dst share a node, or through the streaming pipe /
 // small-data socket across nodes. On arrival the destination sink caches
 // the payload and the tracker is advanced, possibly triggering instances.
-func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item) {
-	s.traceEvent(trace.DataSent, inv.ReqID, it.From.Fn, it.From.Idx,
-		fmt.Sprintf("%s->%s %dB", it.Output, it.To, it.Value.Size))
+func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item, limScratch *[2]*pipe.Limiter) {
+	if s.cfg.Trace != nil {
+		s.traceEvent(trace.DataSent, inv.ReqID, it.From.Fn, it.From.Idx,
+			fmt.Sprintf("%s->%s %dB", it.Output, it.To, it.Value.Size))
+	}
 	if it.To.Fn == workflow.UserSource {
-		s.deliver(inv, it)
+		s.deliver(inv, it, wmm.Key{})
 		return
 	}
 	srcNode := ctr.Node
@@ -196,17 +245,32 @@ func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item)
 		return
 	}
 	// Cross-node: stream through the source container's TC class and the
-	// destination node NIC, checkpointing incrementally.
-	streamID := fmt.Sprintf("%s/%s.%s->%s", inv.ReqID, it.From, it.Output, it.To)
-	tr := &pipe.Transfer{
+	// destination node NIC, checkpointing incrementally. Payloads at or
+	// below the socket threshold record no checkpoints (an interrupted
+	// small send is redone whole), so they skip the checkpoint log — and
+	// the stream-ID formatting entirely, unless a failure injector needs
+	// the stream's address.
+	small := int64(len(payload)) <= pipe.SmallDataThreshold
+	injecting := s.injector.Load() != nil
+	var streamID string
+	if !small || injecting {
+		streamID = streamIDOf(inv.ReqID, it)
+	}
+	limScratch[0], limScratch[1] = ctr.Limiter, dstNode.NIC
+	tr := pipe.Transfer{
 		StreamID:  streamID,
 		Payload:   payload,
 		ChunkSize: s.cfg.ChunkSize,
-		Limiters:  []*pipe.Limiter{ctr.Limiter, dstNode.NIC},
+		Limiters:  limScratch[:],
 		Latency:   s.cfg.TransferLatency,
-		Log:       s.checkLog,
-		FailAfter: s.failAfter(streamID),
+		FailAfter: -1,
 		Clock:     srcNode.Clock(),
+	}
+	if !small {
+		tr.Log = s.checkLog
+	}
+	if injecting {
+		tr.FailAfter = s.failAfter(streamID)
 	}
 	deliver := func(off int64, chunk []byte, total int64) {}
 	_, err := tr.Run(0, deliver)
@@ -219,47 +283,112 @@ func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item)
 		inv.fail(fmt.Errorf("core: transfer %s failed: %w", streamID, err))
 		return
 	}
-	s.checkLog.Clear(streamID)
+	if tr.Log != nil {
+		tr.Log.Clear(streamID)
+	}
 	s.land(inv, it, dstNode)
+}
+
+// streamIDOf formats the cross-node stream identifier
+// (reqID/from.output->to) without the fmt machinery: the ID is needed on
+// every cross-node shipment even when tracing is off (checkpoint log and
+// failure-injector addressing).
+func streamIDOf(reqID string, it dataflow.Item) string {
+	var b strings.Builder
+	b.Grow(len(reqID) + len(it.From.Fn) + len(it.Output) + len(it.To.Fn) + 16)
+	b.WriteString(reqID)
+	b.WriteByte('/')
+	writeInstanceKey(&b, it.From)
+	b.WriteByte('.')
+	b.WriteString(it.Output)
+	b.WriteString("->")
+	writeInstanceKey(&b, it.To)
+	return b.String()
 }
 
 // land caches the item in the destination node's sink, advances the
 // tracker and schedules newly ready instances.
 func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node) {
-	dstNode.Sink.Put(dstNode.Elapsed(), sinkKey(inv.ReqID, it), it.Value, 1)
+	key := sinkKey(inv.ReqID, it)
+	dstNode.Sink.Put(dstNode.Elapsed(), key, it.Value, 1)
+	inv.sinkResidue.Add(1)
 	if !s.tracked(inv.ReqID) {
 		// The request completed while this shipment was in flight (e.g. the
 		// user-facing item of the same DLU task finished the workflow), so
-		// its teardown ReleaseRequest has already run — or runs after our
-		// Put, in which case this extra release is a no-op. Either way the
-		// just-cached entry must not outlive the request.
+		// its teardown ReleaseRequest has already run (or was skipped for
+		// zero residue) — or runs after our Put, in which case this extra
+		// release is a no-op. Either way the just-cached entry must not
+		// outlive the request.
 		dstNode.Sink.ReleaseRequest(dstNode.Elapsed(), inv.ReqID)
 	}
-	s.traceEvent(trace.DataArrived, inv.ReqID, it.To.Fn, it.To.Idx,
-		fmt.Sprintf("%s %dB", it.Input, it.Value.Size))
-	s.deliver(inv, it)
+	if s.cfg.Trace != nil {
+		s.traceEvent(trace.DataArrived, inv.ReqID, it.To.Fn, it.To.Idx,
+			fmt.Sprintf("%s %dB", it.Input, it.Value.Size))
+	}
+	s.deliver(inv, it, key)
+}
+
+// arrivedItem pairs a landed item with the sink key it was cached under, so
+// the consume side (instance Gets, teardown's broadcast reclaim) never
+// rebuilds the key string.
+type arrivedItem struct {
+	item dataflow.Item
+	key  wmm.Key
+}
+
+// arrivedBucket collects the arrived items of one instance key.
+type arrivedBucket struct {
+	key   dataflow.InstanceKey
+	items []arrivedItem
+}
+
+// arrivedFor returns the arrived items recorded under key. Caller holds
+// inv.mu.
+func (inv *Invocation) arrivedFor(key dataflow.InstanceKey) []arrivedItem {
+	for i := range inv.arrived {
+		if inv.arrived[i].key == key {
+			return inv.arrived[i].items
+		}
+	}
+	return nil
+}
+
+// recordArrived appends one landed item under key. Caller holds inv.mu.
+func (inv *Invocation) recordArrived(key dataflow.InstanceKey, ai arrivedItem) {
+	for i := range inv.arrived {
+		if inv.arrived[i].key == key {
+			inv.arrived[i].items = append(inv.arrived[i].items, ai)
+			return
+		}
+	}
+	inv.arrived = append(inv.arrived, arrivedBucket{key: key, items: []arrivedItem{ai}})
 }
 
 // deliver advances the tracker with the item and reacts to readiness and
-// completion.
-func (s *System) deliver(inv *Invocation, it dataflow.Item) {
+// completion. key is the sink key the item was cached under (zero for
+// user-destined items, which never touch a sink). The whole reaction runs
+// under inv.mu — scheduling only hands jobs to the executor, and the
+// single hold lets the newly-ready buffer be reused across deliveries.
+func (s *System) deliver(inv *Invocation, it dataflow.Item, key wmm.Key) {
 	inv.mu.Lock()
 	if it.To.Fn != workflow.UserSource {
-		inv.arrived[storeKeyOf(it)] = append(inv.arrived[storeKeyOf(it)], it)
+		inv.recordArrived(storeKeyOf(it), arrivedItem{item: it, key: key})
 	}
-	newly, err := inv.tracker.Deliver(it)
-	complete := err == nil && inv.tracker.Complete()
-	inv.mu.Unlock()
+	newly, err := inv.tracker.DeliverInto(inv.readyScratch[:0], it)
+	inv.readyScratch = newly
 	if err != nil {
+		inv.mu.Unlock()
 		inv.fail(err)
 		return
 	}
-	s.scheduleReady(inv, newly)
-	if complete {
-		inv.mu.Lock()
-		inv.finishLocked()
-		inv.mu.Unlock()
+	for _, k := range newly {
+		s.traceEvent(trace.InstanceTriggered, inv.ReqID, k.Fn, k.Idx, "")
+		s.submitInstance(inv, k)
 	}
+	if inv.tracker.Complete() {
+		inv.finishLocked()
+	}
+	inv.mu.Unlock()
 }
 
 // storeKeyOf maps an item to the arrived-map key (broadcast items collapse
@@ -273,47 +402,50 @@ func storeKeyOf(it dataflow.Item) dataflow.InstanceKey {
 
 // failAfter consults the system's failure injector for a stream.
 func (s *System) failAfter(streamID string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.injector == nil {
-		return -1
+	if fn := s.injector.Load(); fn != nil {
+		return (*fn)(streamID)
 	}
-	return s.injector(streamID)
+	return -1
 }
 
 // SetTransferFailureInjector installs fn; for each (re)attempted transfer
 // it returns the byte offset at which to inject a failure, or -1 for none.
 // Used by fault-tolerance tests.
 func (s *System) SetTransferFailureInjector(fn func(streamID string) int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.injector = fn
+	s.injector.Store(&fn)
 }
 
 // Shutdown drains the DLU daemons and waits for background work. The
-// system rejects new invocations afterwards.
+// system rejects new invocations afterwards; requests still in flight are
+// abandoned safely (their late Puts are refused, never panicked).
 func (s *System) Shutdown() {
-	s.mu.Lock()
+	s.closeMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.closeMu.Unlock()
 		return
 	}
 	s.closed = true
-	for _, ch := range s.dlus {
-		close(ch)
-	}
+	s.closeMu.Unlock()
 	if s.stopReaper != nil {
 		close(s.stopReaper)
 	}
-	s.mu.Unlock()
+	// Close every container's DLU queue. Nodes mark themselves shut first,
+	// so a cold start racing this loop produces a container that is born
+	// closed — no daemon can appear after the sweep and dangle in bg.Wait.
+	for _, name := range s.cfg.Cluster.Nodes() {
+		if n, ok := s.cfg.Cluster.Node(name); ok {
+			n.CloseDLUs()
+		}
+	}
 	s.bg.Wait()
+	// All submitters are inside bg (or behind the closed flag), so after the
+	// wait no send can race this close; the executor workers drain and exit.
+	close(s.execJobs)
 }
 
 // FLUAvg returns the running average execution time of fn (T_FLU).
 func (s *System) FLUAvg(fn string) time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st, ok := s.flu[fn]; ok {
+	if st, ok := s.fns[fn]; ok {
 		return st.avg()
 	}
 	return 0

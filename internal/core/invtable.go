@@ -1,0 +1,80 @@
+package core
+
+import "sync"
+
+// invStripes is the invocation-table stripe count (power of two). Request
+// IDs hash across the stripes so concurrent Invoke / tracked /
+// forgetInvocation calls from many goroutines rarely share a lock, the same
+// discipline wmm uses for the data sink.
+const invStripes = 64
+
+// invStripe is one lock stripe of the invocation table, padded out to a
+// cache line so neighbouring stripes' mutexes do not false-share.
+type invStripe struct {
+	mu sync.Mutex
+	m  map[string]*Invocation
+	_  [48]byte
+}
+
+// invTable is the system's striped request-ID -> Invocation index.
+type invTable struct {
+	stripes [invStripes]invStripe
+}
+
+func (t *invTable) init() {
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[string]*Invocation)
+	}
+}
+
+// fnv32a constants (the same seed the wmm sharder uses).
+const (
+	invFNVOffset = 2166136261
+	invFNVPrime  = 16777619
+)
+
+func (t *invTable) stripe(reqID string) *invStripe {
+	h := uint32(invFNVOffset)
+	for i := 0; i < len(reqID); i++ {
+		h ^= uint32(reqID[i])
+		h *= invFNVPrime
+	}
+	return &t.stripes[h&(invStripes-1)]
+}
+
+func (t *invTable) put(reqID string, inv *Invocation) {
+	st := t.stripe(reqID)
+	st.mu.Lock()
+	st.m[reqID] = inv
+	st.mu.Unlock()
+}
+
+func (t *invTable) delete(reqID string) {
+	st := t.stripe(reqID)
+	st.mu.Lock()
+	delete(st.m, reqID)
+	st.mu.Unlock()
+}
+
+func (t *invTable) contains(reqID string) bool {
+	st := t.stripe(reqID)
+	st.mu.Lock()
+	_, ok := st.m[reqID]
+	st.mu.Unlock()
+	return ok
+}
+
+// count sums the stripe sizes. Stripes are locked one at a time, so the
+// result is a consistent total only once the system is quiescent — the same
+// contract the previous single-map implementation offered callers that
+// sampled it mid-flight.
+func (t *invTable) count() int {
+	n := 0
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		n += len(st.m)
+		st.mu.Unlock()
+	}
+	return n
+}

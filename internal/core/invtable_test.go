@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInvTableCrossStripeConsistency drives the striped invocation table
+// directly from many goroutines — puts, contains, deletes with request IDs
+// that hash across all stripes — and checks the quiescent count is exact
+// and every surviving entry is findable. This pins the put/delete/count
+// contract PendingInvocations and tracked() rely on.
+func TestInvTableCrossStripeConsistency(t *testing.T) {
+	var tbl invTable
+	tbl.init()
+
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("req-%d-%d", w, i)
+				tbl.put(id, &Invocation{ReqID: id})
+				if !tbl.contains(id) {
+					t.Errorf("%s vanished right after put", id)
+					return
+				}
+				if i%2 == 0 {
+					tbl.delete(id)
+					if tbl.contains(id) {
+						t.Errorf("%s survives its delete", id)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := workers * perWorker / 2 // odd i survive
+	if got := tbl.count(); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 1; i < perWorker; i += 2 {
+			id := fmt.Sprintf("req-%d-%d", w, i)
+			if !tbl.contains(id) {
+				t.Fatalf("%s missing after quiescence", id)
+			}
+		}
+	}
+	// The IDs must actually spread over the stripes, or the striping is
+	// decorative: with 4000 keys over 64 stripes an empty stripe indicates
+	// a broken hash.
+	occupied := 0
+	for i := range tbl.stripes {
+		st := &tbl.stripes[i]
+		st.mu.Lock()
+		if len(st.m) > 0 {
+			occupied++
+		}
+		st.mu.Unlock()
+	}
+	if occupied < invStripes/2 {
+		t.Fatalf("only %d/%d stripes occupied; request IDs are not spreading", occupied, invStripes)
+	}
+}
+
+// TestPendingInvocationsAcrossStripes checks the system-level view: a batch
+// of concurrent requests is tracked while in flight and the table returns
+// to empty after completion, with request IDs spanning many stripes.
+func TestPendingInvocationsAcrossStripes(t *testing.T) {
+	sys, _ := newWCSystem(t, 2, nil)
+	defer sys.Shutdown()
+	const n = 40
+	invs := make([]*Invocation, 0, n)
+	for i := 0; i < n; i++ {
+		inv, err := sys.Invoke(map[string][]byte{
+			"start.src": []byte(fmt.Sprintf("w%d w%d w%d", i, i, i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		invs = append(invs, inv)
+	}
+	for _, inv := range invs {
+		if err := inv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.PendingInvocations(); got != 0 {
+		t.Fatalf("PendingInvocations = %d after all requests completed", got)
+	}
+}

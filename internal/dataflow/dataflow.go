@@ -56,18 +56,12 @@ type Tracker struct {
 	wf    *workflow.Workflow
 	reqID string
 
-	// fanout[fn] is the number of instances of fn; known[fn] reports whether
-	// the degree is final (functions targeted by FOREACH outputs are unknown
-	// until the producer emits).
-	fanout map[string]int
-	known  map[string]bool
+	// fns holds the per-function tracking state, indexed by
+	// workflow.Function.Index: item recording and readiness checks address
+	// state by function, input and instance position instead of hashing
+	// nested string-keyed maps on every delivery.
+	fns []fnTrack
 
-	// arrived[key][input] holds delivered items per instance input slot.
-	arrived map[InstanceKey]map[string][]Item
-	// broadcast[fn][input] holds items addressed to all instances of fn.
-	broadcast map[string]map[string][]Item
-
-	ready     map[InstanceKey]bool // became ready at some point
 	userItems []Item
 
 	// switchChosen[fn.output] records the chosen case for SWITCH outputs.
@@ -75,39 +69,152 @@ type Tracker struct {
 	// foreachUser[fn.output] records, for FOREACH outputs that target the
 	// user, how many elements each producing instance emitted.
 	foreachUser map[string]int
+
+	// expectTotal/expectFinal memoize ExpectedUserItems once it becomes
+	// final: switch choices and fan-out degrees are write-once, so a final
+	// expectation can never change — and engines re-check completion on
+	// every delivered item, which would otherwise re-walk the graph.
+	expectTotal int
+	expectFinal bool
+}
+
+// fanoutState is the instance count of one function plus whether the count
+// is final (functions targeted by FOREACH outputs are unknown until the
+// producer emits).
+type fanoutState struct {
+	n     int
+	known bool
+}
+
+// fnTrack is one function's per-request tracking state.
+type fnTrack struct {
+	f      *workflow.Function
+	fanout fanoutState
+	// readyBits marks instances 0..63 that became ready at some point;
+	// readyOver spills the (rare) instances beyond 64. The split keeps the
+	// dominant small-fan-out case allocation-free.
+	readyBits uint64
+	readyOver []bool
+	// Broadcast items addressed to all instances: input position 0 is
+	// inlined (most functions declare one input), positions >= 1 live in
+	// bcMore, allocated on first such arrival.
+	bc0    []Item
+	bcMore [][]Item
+	// arrived[idx][inputPos] holds instance-addressed items; the outer
+	// slice grows with the instance index, inner slices on first arrival.
+	arrived [][][]Item
+}
+
+// isReady reports whether instance idx has become ready.
+func (ft *fnTrack) isReady(idx int) bool {
+	if idx < 64 {
+		return ft.readyBits&(1<<uint(idx)) != 0
+	}
+	over := idx - 64
+	return over < len(ft.readyOver) && ft.readyOver[over]
+}
+
+// markReady records instance idx as ready.
+func (ft *fnTrack) markReady(idx int) {
+	if idx < 64 {
+		ft.readyBits |= 1 << uint(idx)
+		return
+	}
+	over := idx - 64
+	for len(ft.readyOver) <= over {
+		ft.readyOver = append(ft.readyOver, false)
+	}
+	ft.readyOver[over] = true
+}
+
+// broadcastAt returns the broadcast items of the input at pos.
+func (ft *fnTrack) broadcastAt(pos int) []Item {
+	if pos == 0 {
+		return ft.bc0
+	}
+	if ft.bcMore == nil {
+		return nil
+	}
+	return ft.bcMore[pos-1]
+}
+
+// broadcastAppend files a broadcast item under the input at pos.
+func (ft *fnTrack) broadcastAppend(pos int, it Item) {
+	if pos == 0 {
+		ft.bc0 = append(ft.bc0, it)
+		return
+	}
+	if ft.bcMore == nil {
+		ft.bcMore = make([][]Item, len(ft.f.Inputs)-1)
+	}
+	ft.bcMore[pos-1] = append(ft.bcMore[pos-1], it)
+}
+
+// arrivedAt returns the instance-addressed items of (instance idx, input
+// pos).
+func (ft *fnTrack) arrivedAt(idx, pos int) []Item {
+	if idx < 0 || idx >= len(ft.arrived) || ft.arrived[idx] == nil {
+		return nil
+	}
+	return ft.arrived[idx][pos]
+}
+
+// inputPos returns the position of the named input in f's declaration, or
+// -1. Functions declare a handful of inputs, so a linear scan beats a map.
+func inputPos(f *workflow.Function, name string) int {
+	for i := range f.Inputs {
+		if f.Inputs[i].Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // NewTracker returns a tracker for one request over wf. The workflow must be
 // valid (workflow.Validate).
 func NewTracker(wf *workflow.Workflow, reqID string) *Tracker {
-	t := &Tracker{
-		wf:           wf,
-		reqID:        reqID,
-		fanout:       make(map[string]int),
-		known:        make(map[string]bool),
-		arrived:      make(map[InstanceKey]map[string][]Item),
-		broadcast:    make(map[string]map[string][]Item),
-		ready:        make(map[InstanceKey]bool),
-		switchChosen: make(map[string]int),
-		foreachUser:  make(map[string]int),
+	t := new(Tracker)
+	t.Init(wf, reqID)
+	return t
+}
+
+// Init initializes t in place for one request over wf — NewTracker without
+// the Tracker allocation, for callers that embed the tracker in a larger
+// per-request record. Any previous state is discarded.
+func (t *Tracker) Init(wf *workflow.Workflow, reqID string) {
+	*t = Tracker{
+		wf:    wf,
+		reqID: reqID,
+		fns:   make([]fnTrack, len(wf.Functions)),
+		// switchChosen and foreachUser allocate lazily on first write; most
+		// requests never touch them.
 	}
 	// Functions not targeted by any FOREACH output have exactly one
 	// instance, known immediately.
-	foreachTargets := map[string]bool{}
+	for i, f := range wf.Functions {
+		t.fns[i] = fnTrack{f: f, fanout: fanoutState{n: 1, known: true}}
+	}
 	for _, e := range wf.Edges() {
 		if e.Kind == workflow.Foreach && e.To != workflow.UserSource {
-			foreachTargets[e.To] = true
+			if ft := t.track(e.To); ft != nil {
+				ft.fanout = fanoutState{}
+			}
 		}
 	}
-	for _, f := range wf.Functions {
-		if foreachTargets[f.Name] {
-			t.known[f.Name] = false
-		} else {
-			t.fanout[f.Name] = 1
-			t.known[f.Name] = true
-		}
+	// Switch- and foreach-free workflows deliver a topology-determined item
+	// count; seeding the memo spares every request the expectation walk.
+	if n, ok := wf.StaticUserItems(); ok {
+		t.expectTotal, t.expectFinal = n, true
 	}
-	return t
+}
+
+// track returns fn's tracking state, or nil for unknown functions.
+func (t *Tracker) track(fn string) *fnTrack {
+	f, ok := t.wf.Function(fn)
+	if !ok {
+		return nil
+	}
+	return &t.fns[f.Index()]
 }
 
 // ReqID returns the request identifier this tracker serves.
@@ -115,22 +222,29 @@ func (t *Tracker) ReqID() string { return t.reqID }
 
 // Fanout returns the instance count of fn and whether it is known yet.
 func (t *Tracker) Fanout(fn string) (int, bool) {
-	return t.fanout[fn], t.known[fn]
+	ft := t.track(fn)
+	if ft == nil {
+		return 0, false
+	}
+	return ft.fanout.n, ft.fanout.known
 }
 
 // setFanout fixes the instance count of a FOREACH-targeted function.
 func (t *Tracker) setFanout(fn string, k int) error {
-	if t.known[fn] {
-		if t.fanout[fn] != k {
-			return fmt.Errorf("dataflow: conflicting fan-out for %s: %d then %d", fn, t.fanout[fn], k)
+	ft := t.track(fn)
+	if ft == nil {
+		return fmt.Errorf("dataflow: unknown function %s", fn)
+	}
+	if ft.fanout.known {
+		if ft.fanout.n != k {
+			return fmt.Errorf("dataflow: conflicting fan-out for %s: %d then %d", fn, ft.fanout.n, k)
 		}
 		return nil
 	}
 	if k < 1 {
 		return fmt.Errorf("dataflow: fan-out for %s must be >= 1, got %d", fn, k)
 	}
-	t.fanout[fn] = k
-	t.known[fn] = true
+	ft.fanout = fanoutState{n: k, known: true}
 	return nil
 }
 
@@ -138,29 +252,48 @@ func (t *Tracker) setFanout(fn string, k int) error {
 // became ready. userInput provides a value for every entry input, keyed by
 // "function.input".
 func (t *Tracker) Start(userInput map[string]Value) ([]InstanceKey, error) {
+	return t.start(userInput, nil)
+}
+
+// StartBytes is Start for raw byte payloads keyed by "function.input" — the
+// runtime plane's entry path, spared the intermediate Value map.
+func (t *Tracker) StartBytes(userInput map[string][]byte) ([]InstanceKey, error) {
+	return t.start(nil, userInput)
+}
+
+// start routes the entry inputs from whichever of the two maps is non-nil
+// (two parameters rather than a lookup closure: this runs per request).
+func (t *Tracker) start(vals map[string]Value, bytes map[string][]byte) ([]InstanceKey, error) {
 	var newly []InstanceKey
-	for _, f := range t.wf.Functions {
+	for _, f := range t.wf.Entries() {
 		for _, in := range f.Inputs {
 			if !in.FromUser {
 				continue
 			}
 			key := f.Name + "." + in.Name
-			v, ok := userInput[key]
+			var v Value
+			var ok bool
+			if bytes != nil {
+				var b []byte
+				b, ok = bytes[key]
+				v = Value{Payload: b, Size: int64(len(b))}
+			} else {
+				v, ok = vals[key]
+			}
 			if !ok {
 				return nil, fmt.Errorf("dataflow: missing user input %s", key)
 			}
-			items := []Item{{
+			it := Item{
 				From:   UserKey,
 				Output: "input",
 				To:     InstanceKey{Fn: f.Name, Idx: BroadcastIdx},
 				Input:  in.Name,
 				Value:  v,
-			}}
-			n, err := t.deliverAll(items)
-			if err != nil {
+			}
+			if err := t.record(it); err != nil {
 				return nil, err
 			}
-			newly = append(newly, n...)
+			newly = append(newly, t.checkReady(f.Name)...)
 		}
 	}
 	return newly, nil
@@ -205,8 +338,12 @@ func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchC
 		if len(values) == 0 {
 			return nil, fmt.Errorf("dataflow: FOREACH output %s.%s emitted no values", from.Fn, output)
 		}
+		items = make([]Item, 0, len(values)*len(o.Dests))
 		for _, d := range o.Dests {
 			if d.Function == workflow.UserSource {
+				if t.foreachUser == nil {
+					t.foreachUser = make(map[string]int)
+				}
 				t.foreachUser[from.Fn+"."+output] = len(values)
 				for _, v := range values {
 					items = append(items, Item{From: from, Output: output, To: UserKey, Value: v})
@@ -233,6 +370,9 @@ func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchC
 		if switchCase < 0 || switchCase >= len(o.Dests) {
 			return nil, fmt.Errorf("dataflow: SWITCH case %d out of range for %s.%s", switchCase, from.Fn, output)
 		}
+		if t.switchChosen == nil {
+			t.switchChosen = make(map[string]int)
+		}
 		t.switchChosen[from.Fn+"."+output] = switchCase
 		d := o.Dests[switchCase]
 		to := InstanceKey{Fn: d.Function, Idx: BroadcastIdx}
@@ -244,6 +384,7 @@ func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchC
 		if len(values) != 1 {
 			return nil, fmt.Errorf("dataflow: output %s.%s needs exactly one value, got %d", from.Fn, output, len(values))
 		}
+		items = make([]Item, 0, len(o.Dests))
 		for _, d := range o.Dests {
 			to := InstanceKey{Fn: d.Function, Idx: BroadcastIdx}
 			if d.Function == workflow.UserSource {
@@ -259,35 +400,37 @@ func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchC
 // instances that became ready as a result. Engines that move items through
 // the network call Deliver when the bytes land in the destination data sink.
 func (t *Tracker) Deliver(it Item) ([]InstanceKey, error) {
-	return t.deliverAll([]Item{it})
+	return t.DeliverInto(nil, it)
+}
+
+// DeliverInto is Deliver appending the newly ready instances to dst, so an
+// engine delivering a stream of items can reuse one buffer instead of
+// allocating a slice per arrival.
+func (t *Tracker) DeliverInto(dst []InstanceKey, it Item) ([]InstanceKey, error) {
+	if err := t.record(it); err != nil {
+		return dst, err
+	}
+	if it.To.Fn == workflow.UserSource {
+		return dst, nil
+	}
+	return t.checkReadyInto(dst, it.To.Fn), nil
 }
 
 func (t *Tracker) deliverAll(items []Item) ([]InstanceKey, error) {
+	// Single-item fast path: network engines deliver item by item as bytes
+	// land, so the touched-set bookkeeping and the cross-function sort
+	// reduce to one delivery (whose keys are already in index order).
+	if len(items) == 1 {
+		return t.DeliverInto(nil, items[0])
+	}
 	touched := map[string]bool{}
 	for _, it := range items {
-		if it.To.Fn == workflow.UserSource {
-			t.userItems = append(t.userItems, it)
-			continue
+		if err := t.record(it); err != nil {
+			return nil, err
 		}
-		if _, ok := t.wf.Function(it.To.Fn); !ok {
-			return nil, fmt.Errorf("dataflow: item to unknown function %s", it.To.Fn)
+		if it.To.Fn != workflow.UserSource {
+			touched[it.To.Fn] = true
 		}
-		if it.To.Idx == BroadcastIdx {
-			bm := t.broadcast[it.To.Fn]
-			if bm == nil {
-				bm = map[string][]Item{}
-				t.broadcast[it.To.Fn] = bm
-			}
-			bm[it.Input] = append(bm[it.Input], it)
-		} else {
-			am := t.arrived[it.To]
-			if am == nil {
-				am = map[string][]Item{}
-				t.arrived[it.To] = am
-			}
-			am[it.Input] = append(am[it.Input], it)
-		}
-		touched[it.To.Fn] = true
 	}
 	var newly []InstanceKey
 	for fn := range touched {
@@ -302,34 +445,72 @@ func (t *Tracker) deliverAll(items []Item) ([]InstanceKey, error) {
 	return newly, nil
 }
 
+// record files one delivered item under its destination slot. Items for
+// undeclared inputs are dropped (they could never satisfy a readiness
+// check, matching the previous map-based behaviour where they were stored
+// but never consulted).
+func (t *Tracker) record(it Item) error {
+	if it.To.Fn == workflow.UserSource {
+		t.userItems = append(t.userItems, it)
+		return nil
+	}
+	ft := t.track(it.To.Fn)
+	if ft == nil {
+		return fmt.Errorf("dataflow: item to unknown function %s", it.To.Fn)
+	}
+	pos := inputPos(ft.f, it.Input)
+	if pos < 0 {
+		return nil
+	}
+	if it.To.Idx == BroadcastIdx {
+		ft.broadcastAppend(pos, it)
+		return nil
+	}
+	idx := it.To.Idx
+	if idx < 0 {
+		return fmt.Errorf("dataflow: item to invalid instance %s", it.To)
+	}
+	for len(ft.arrived) <= idx {
+		ft.arrived = append(ft.arrived, nil)
+	}
+	if ft.arrived[idx] == nil {
+		ft.arrived[idx] = make([][]Item, len(ft.f.Inputs))
+	}
+	ft.arrived[idx][pos] = append(ft.arrived[idx][pos], it)
+	return nil
+}
+
 // checkReady scans the instances of fn for newly satisfied input sets.
 func (t *Tracker) checkReady(fn string) []InstanceKey {
-	if !t.known[fn] {
-		return nil // fan-out degree not fixed yet: no instance may start
+	return t.checkReadyInto(nil, fn)
+}
+
+// checkReadyInto appends newly satisfied instances of fn to dst.
+func (t *Tracker) checkReadyInto(dst []InstanceKey, fn string) []InstanceKey {
+	ft := t.track(fn)
+	if ft == nil || !ft.fanout.known {
+		return dst // fan-out degree not fixed yet: no instance may start
 	}
-	f, _ := t.wf.Function(fn)
-	var newly []InstanceKey
-	for idx := 0; idx < t.fanout[fn]; idx++ {
-		key := InstanceKey{Fn: fn, Idx: idx}
-		if t.ready[key] {
+	for idx := 0; idx < ft.fanout.n; idx++ {
+		if ft.isReady(idx) {
 			continue
 		}
-		if t.inputsSatisfied(f, key) {
-			t.ready[key] = true
-			newly = append(newly, key)
+		if t.inputsSatisfied(ft, idx) {
+			ft.markReady(idx)
+			dst = append(dst, InstanceKey{Fn: fn, Idx: idx})
 		}
 	}
-	return newly
+	return dst
 }
 
 // inputsSatisfied reports whether every declared input of the instance has
 // arrived (Normal: >= 1 value counting broadcasts; List: the full fan-in).
-func (t *Tracker) inputsSatisfied(f *workflow.Function, key InstanceKey) bool {
-	for _, in := range f.Inputs {
-		got := len(t.arrived[key][in.Name]) + len(t.broadcast[f.Name][in.Name])
+func (t *Tracker) inputsSatisfied(ft *fnTrack, idx int) bool {
+	for pos, in := range ft.f.Inputs {
+		got := len(ft.arrivedAt(idx, pos)) + len(ft.broadcastAt(pos))
 		switch in.Kind {
 		case workflow.List:
-			want, known := t.expectedListCount(f.Name, in.Name)
+			want, known := t.expectedListCount(ft.f.Name, in.Name)
 			if !known || got < want {
 				return false
 			}
@@ -351,11 +532,11 @@ func (t *Tracker) expectedListCount(fn, input string) (int, bool) {
 		if e.To != fn || e.ToInput != input {
 			continue
 		}
-		k, known := t.fanout[e.From], t.known[e.From]
-		if !known {
+		ft := t.track(e.From)
+		if ft == nil || !ft.fanout.known {
 			return 0, false
 		}
-		total += k
+		total += ft.fanout.n
 	}
 	return total, true
 }
@@ -365,33 +546,95 @@ func (t *Tracker) expectedListCount(fn, input string) (int, bool) {
 // instance (function name, then instance index), so merge-style consumers
 // see branch outputs in branch order regardless of network arrival order.
 func (t *Tracker) Inputs(key InstanceKey) map[string][]Value {
-	f, ok := t.wf.Function(key.Fn)
-	if !ok {
+	ft := t.track(key.Fn)
+	if ft == nil {
 		return nil
 	}
-	out := make(map[string][]Value, len(f.Inputs))
-	for _, in := range f.Inputs {
-		items := append([]Item(nil), t.arrived[key][in.Name]...)
-		items = append(items, t.broadcast[key.Fn][in.Name]...)
+	out := make(map[string][]Value, len(ft.f.Inputs))
+	for pos, in := range ft.f.Inputs {
+		own, shared := ft.arrivedAt(key.Idx, pos), ft.broadcastAt(pos)
 		if in.Kind == workflow.List {
+			items := make([]Item, 0, len(own)+len(shared))
+			items = append(append(items, own...), shared...)
 			sort.SliceStable(items, func(i, j int) bool {
 				if items[i].From.Fn != items[j].From.Fn {
 					return items[i].From.Fn < items[j].From.Fn
 				}
 				return items[i].From.Idx < items[j].From.Idx
 			})
+			vals := make([]Value, len(items))
+			for i, it := range items {
+				vals[i] = it.Value
+			}
+			out[in.Name] = vals
+			continue
 		}
-		vals := make([]Value, len(items))
-		for i, it := range items {
-			vals[i] = it.Value
+		vals := make([]Value, 0, len(own)+len(shared))
+		for _, it := range own {
+			vals = append(vals, it.Value)
+		}
+		for _, it := range shared {
+			vals = append(vals, it.Value)
 		}
 		out[in.Name] = vals
 	}
 	return out
 }
 
+// InputVals is one declared input's collected values, in declaration order
+// within the InputsAppend result.
+type InputVals struct {
+	Name   string
+	Values []Value
+}
+
+// InputsAppend appends one InputVals per declared input of the instance to
+// dst and returns it — the allocation-lean sibling of Inputs for engines
+// that look inputs up positionally. All values share one backing array;
+// List inputs are ordered by producing instance like Inputs.
+func (t *Tracker) InputsAppend(dst []InputVals, key InstanceKey) []InputVals {
+	ft := t.track(key.Fn)
+	if ft == nil {
+		return dst
+	}
+	total := 0
+	for pos := range ft.f.Inputs {
+		total += len(ft.arrivedAt(key.Idx, pos)) + len(ft.broadcastAt(pos))
+	}
+	backing := make([]Value, 0, total)
+	for pos, in := range ft.f.Inputs {
+		own, shared := ft.arrivedAt(key.Idx, pos), ft.broadcastAt(pos)
+		start := len(backing)
+		if in.Kind == workflow.List {
+			items := make([]Item, 0, len(own)+len(shared))
+			items = append(append(items, own...), shared...)
+			sort.SliceStable(items, func(i, j int) bool {
+				if items[i].From.Fn != items[j].From.Fn {
+					return items[i].From.Fn < items[j].From.Fn
+				}
+				return items[i].From.Idx < items[j].From.Idx
+			})
+			for _, it := range items {
+				backing = append(backing, it.Value)
+			}
+		} else {
+			for _, it := range own {
+				backing = append(backing, it.Value)
+			}
+			for _, it := range shared {
+				backing = append(backing, it.Value)
+			}
+		}
+		dst = append(dst, InputVals{Name: in.Name, Values: backing[start:len(backing):len(backing)]})
+	}
+	return dst
+}
+
 // IsReady reports whether the instance has become ready.
-func (t *Tracker) IsReady(key InstanceKey) bool { return t.ready[key] }
+func (t *Tracker) IsReady(key InstanceKey) bool {
+	ft := t.track(key.Fn)
+	return ft != nil && key.Idx >= 0 && ft.isReady(key.Idx)
+}
 
 // UserItems returns the items delivered to the user so far.
 func (t *Tracker) UserItems() []Item { return t.userItems }
@@ -401,54 +644,58 @@ func (t *Tracker) UserItems() []Item { return t.userItems }
 // undecidable (known == false) while a SWITCH on the executed path has not
 // fired or while a fan-out degree on the executed path is still unknown.
 func (t *Tracker) ExpectedUserItems() (int, bool) {
+	if t.expectFinal {
+		return t.expectTotal, true
+	}
 	// Compute the set of functions that will execute, following all edges
 	// except un-taken SWITCH branches. If a reachable SWITCH has not fired
 	// yet, the expectation is not final.
-	reachable := map[string]bool{}
-	var stack []string
-	for _, f := range t.wf.Entries() {
-		stack = append(stack, f.Name)
-	}
+	reachable := make([]bool, len(t.wf.Functions))
+	var stack []*workflow.Function
+	stack = append(stack, t.wf.Entries()...)
 	for len(stack) > 0 {
-		fn := stack[len(stack)-1]
+		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if reachable[fn] {
+		if reachable[f.Index()] {
 			continue
 		}
-		reachable[fn] = true
-		f, _ := t.wf.Function(fn)
+		reachable[f.Index()] = true
 		for _, o := range f.Outputs {
 			if o.Kind == workflow.Switch {
-				chosen, fired := t.switchChosen[fn+"."+o.Name]
+				chosen, fired := t.switchChosen[f.Name+"."+o.Name]
 				if !fired {
 					return 0, false
 				}
 				if d := o.Dests[chosen]; d.Function != workflow.UserSource {
-					stack = append(stack, d.Function)
+					if df, ok := t.wf.Function(d.Function); ok {
+						stack = append(stack, df)
+					}
 				}
 				continue
 			}
 			for _, d := range o.Dests {
 				if d.Function != workflow.UserSource {
-					stack = append(stack, d.Function)
+					if df, ok := t.wf.Function(d.Function); ok {
+						stack = append(stack, df)
+					}
 				}
 			}
 		}
 	}
 	total := 0
-	for _, f := range t.wf.Functions {
-		if !reachable[f.Name] {
+	for i, f := range t.wf.Functions {
+		if !reachable[i] {
 			continue
 		}
-		k, known := t.fanout[f.Name]
-		if !known {
+		st := t.fns[i].fanout
+		if !st.known {
 			return 0, false
 		}
 		for _, o := range f.Outputs {
 			if o.Kind == workflow.Switch {
 				chosen := t.switchChosen[f.Name+"."+o.Name]
 				if o.Dests[chosen].Function == workflow.UserSource {
-					total += k
+					total += st.n
 				}
 				continue
 			}
@@ -461,14 +708,15 @@ func (t *Tracker) ExpectedUserItems() (int, bool) {
 						if !fired {
 							return 0, false
 						}
-						total += k * n
+						total += st.n * n
 						continue
 					}
-					total += k
+					total += st.n
 				}
 			}
 		}
 	}
+	t.expectTotal, t.expectFinal = total, true
 	return total, true
 }
 
@@ -482,12 +730,13 @@ func (t *Tracker) Complete() bool {
 // order. Instances of functions with unknown fan-out are omitted.
 func (t *Tracker) Instances() []InstanceKey {
 	var out []InstanceKey
-	for _, f := range t.wf.Functions {
-		if !t.known[f.Name] {
+	for i, f := range t.wf.Functions {
+		st := t.fns[i].fanout
+		if !st.known {
 			continue
 		}
-		for i := 0; i < t.fanout[f.Name]; i++ {
-			out = append(out, InstanceKey{Fn: f.Name, Idx: i})
+		for idx := 0; idx < st.n; idx++ {
+			out = append(out, InstanceKey{Fn: f.Name, Idx: idx})
 		}
 	}
 	return out

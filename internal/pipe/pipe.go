@@ -61,9 +61,23 @@ func (l *Limiter) Rate() float64 {
 	return l.rate
 }
 
+// limiterGranularity is the smallest wait Take actually sleeps. Shorter
+// charges stay accumulated in the bucket (l.next) and are paid once they
+// aggregate past the threshold — the timer-wheel granularity a kernel TC
+// class has. The long-run rate stays exact, but a sub-granularity charge no
+// longer costs a timer park (~tens of microseconds of wall time for a
+// nanosecond-scale debt).
+const limiterGranularity = 100 * time.Microsecond
+
 // Take blocks until n bytes may pass.
 func (l *Limiter) Take(n int64) {
 	if l == nil || l.rate <= 0 || n <= 0 {
+		return
+	}
+	// A charge that rounds to less than one nanosecond cannot advance the
+	// bucket (the duration truncates to zero below), so skip the lock and
+	// clock read entirely. rate is immutable after construction.
+	if float64(n)*float64(time.Second) < l.rate {
 		return
 	}
 	l.mu.Lock()
@@ -74,7 +88,7 @@ func (l *Limiter) Take(n int64) {
 	l.next = l.next.Add(time.Duration(float64(n) / l.rate * float64(time.Second)))
 	wait := l.next.Sub(now)
 	l.mu.Unlock()
-	if wait > 0 {
+	if wait >= limiterGranularity {
 		l.clk.Sleep(wait)
 	}
 }

@@ -54,7 +54,7 @@ func (w *Workflow) UnmarshalJSON(data []byte) error {
 	}
 	w.Name = a.Name
 	w.Functions = a.Functions
-	w.byName = nil
+	w.index.Store(nil)
 	w.reindex()
 	return w.Validate()
 }

@@ -42,7 +42,7 @@ func genChainWorkflow(r *rand.Rand) *Workflow {
 		w.Functions[k+1].Outputs[0].Kind = Merge
 		w.Functions[k+2].Inputs[0].Kind = List
 	}
-	w.byName = nil
+	w.index.Store(nil)
 	w.reindex()
 	return w
 }

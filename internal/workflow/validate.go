@@ -22,7 +22,7 @@ func (w *Workflow) Validate() error {
 	add := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
 	}
-	w.reindex()
+	ix := w.reindex()
 	if len(w.Functions) == 0 {
 		add("workflow %s: no functions", w.Name)
 		return errors.Join(errs...)
@@ -77,7 +77,7 @@ func (w *Workflow) Validate() error {
 				if d.Function == UserSource {
 					continue
 				}
-				dst, ok := w.byName[d.Function]
+				dst, ok := ix.byName[d.Function]
 				if !ok {
 					add("function %s output %s: unknown destination function %q", f.Name, o.Name, d.Function)
 					continue

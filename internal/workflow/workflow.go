@@ -23,6 +23,8 @@ package workflow
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // EdgeKind describes how data fans out of an output or into an input.
@@ -112,7 +114,14 @@ type Function struct {
 	Name    string   `json:"name"`
 	Inputs  []Input  `json:"inputs"`
 	Outputs []Output `json:"outputs"`
+
+	idx int // position in the owning workflow's Functions list
 }
+
+// Index returns the function's position in its workflow's Functions list,
+// valid once the function is registered (AddFunction or reindex). Trackers
+// use it to keep per-function state in slices instead of string-keyed maps.
+func (f *Function) Index() int { return f.idx }
 
 // Input returns the input declaration with the given name.
 func (f *Function) Input(name string) (Input, bool) {
@@ -134,17 +143,35 @@ func (f *Function) Output(name string) (Output, bool) {
 	return Output{}, false
 }
 
-// Workflow is a named data-flow graph of functions.
+// Workflow is a named data-flow graph of functions. Once a workflow starts
+// serving requests it must not be structurally modified: the derived index
+// (name lookup, edge list, entries, static user-item count) is built once
+// and shared by every request, rebuilt only when the function count
+// changes.
 type Workflow struct {
 	Name      string      `json:"name"`
 	Functions []*Function `json:"functions"`
 
-	byName map[string]*Function
+	// index is the atomically published derived-data snapshot; indexMu
+	// serializes (re)builds. Concurrent readers load the pointer, which
+	// also publishes the Function.idx assignments made during the build.
+	index   atomic.Pointer[wfIndex]
+	indexMu sync.Mutex
+}
+
+// wfIndex is the immutable derived data of a workflow snapshot.
+type wfIndex struct {
+	n          int // len(Functions) this snapshot was built for
+	byName     map[string]*Function
+	edges      []Edge
+	entries    []*Function
+	staticUser int
+	staticOK   bool
 }
 
 // New returns an empty workflow with the given name.
 func New(name string) *Workflow {
-	return &Workflow{Name: name, byName: make(map[string]*Function)}
+	return &Workflow{Name: name}
 }
 
 // AddFunction appends a function node. It returns an error on duplicate
@@ -156,47 +183,119 @@ func (w *Workflow) AddFunction(f *Function) error {
 	if f.Name == UserSource {
 		return fmt.Errorf("workflow %s: function name %s is reserved", w.Name, UserSource)
 	}
-	if w.byName == nil {
-		w.byName = make(map[string]*Function)
+	for _, g := range w.Functions {
+		if g.Name == f.Name {
+			return fmt.Errorf("workflow %s: duplicate function %q", w.Name, f.Name)
+		}
 	}
-	if _, dup := w.byName[f.Name]; dup {
-		return fmt.Errorf("workflow %s: duplicate function %q", w.Name, f.Name)
-	}
+	f.idx = len(w.Functions)
 	w.Functions = append(w.Functions, f)
-	w.byName[f.Name] = f
 	return nil
 }
 
 // Function returns the function with the given name.
 func (w *Workflow) Function(name string) (*Function, bool) {
-	w.reindex()
-	f, ok := w.byName[name]
+	f, ok := w.reindex().byName[name]
 	return f, ok
 }
 
-// reindex rebuilds the name index (needed after JSON decoding).
-func (w *Workflow) reindex() {
-	if w.byName != nil && len(w.byName) == len(w.Functions) {
-		return
+// reindex returns the current index snapshot, building it if the function
+// count changed (needed after JSON decoding). Safe for concurrent use.
+func (w *Workflow) reindex() *wfIndex {
+	if ix := w.index.Load(); ix != nil && ix.n == len(w.Functions) {
+		return ix
 	}
-	w.byName = make(map[string]*Function, len(w.Functions))
-	for _, f := range w.Functions {
-		w.byName[f.Name] = f
+	w.indexMu.Lock()
+	defer w.indexMu.Unlock()
+	if ix := w.index.Load(); ix != nil && ix.n == len(w.Functions) {
+		return ix
 	}
-}
-
-// Entries returns the functions that take at least one input from the user.
-func (w *Workflow) Entries() []*Function {
-	var out []*Function
+	ix := &wfIndex{
+		n:      len(w.Functions),
+		byName: make(map[string]*Function, len(w.Functions)),
+	}
+	for i, f := range w.Functions {
+		f.idx = i
+		ix.byName[f.Name] = f
+	}
 	for _, f := range w.Functions {
 		for _, in := range f.Inputs {
 			if in.FromUser {
-				out = append(out, f)
+				ix.entries = append(ix.entries, f)
 				break
 			}
 		}
 	}
-	return out
+	if ix.entries == nil {
+		ix.entries = []*Function{}
+	}
+	ix.edges = buildEdges(w.Functions, ix.byName)
+	ix.staticUser, ix.staticOK = buildStaticUserItems(w.Functions, ix)
+	w.index.Store(ix)
+	return ix
+}
+
+// Entries returns the functions that take at least one input from the user
+// (cached in the index snapshot; do not mutate the returned slice).
+func (w *Workflow) Entries() []*Function {
+	return w.reindex().entries
+}
+
+// StaticUserItems returns the number of items every request delivers to the
+// user when that count is fixed by topology alone — no SWITCH and no
+// FOREACH output anywhere in the workflow — and whether it is. Trackers use
+// it to skip the per-request expectation walk; cached in the index.
+func (w *Workflow) StaticUserItems() (int, bool) {
+	ix := w.reindex()
+	return ix.staticUser, ix.staticOK
+}
+
+// buildStaticUserItems computes the StaticUserItems answer for a snapshot.
+func buildStaticUserItems(fns []*Function, ix *wfIndex) (int, bool) {
+	for _, f := range fns {
+		for _, o := range f.Outputs {
+			if o.Kind == Switch || o.Kind == Foreach {
+				return 0, false
+			}
+		}
+	}
+	// Only functions reachable from an entry execute; without FOREACH every
+	// reachable function has exactly one instance.
+	reachable := make([]bool, len(fns))
+	var stack []*Function
+	stack = append(stack, ix.entries...)
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachable[f.idx] {
+			continue
+		}
+		reachable[f.idx] = true
+		for _, o := range f.Outputs {
+			for _, d := range o.Dests {
+				if d.Function == UserSource {
+					continue
+				}
+				if df, ok := ix.byName[d.Function]; ok {
+					stack = append(stack, df)
+				}
+			}
+		}
+	}
+	total := 0
+	for i, f := range fns {
+		if !reachable[i] {
+			continue
+		}
+		for _, o := range f.Outputs {
+			for _, d := range o.Dests {
+				if d.Function == UserSource {
+					total++
+				}
+			}
+		}
+	}
+	return total, true
 }
 
 // Terminals returns the functions with at least one output to the user.
@@ -217,8 +316,7 @@ func (w *Workflow) Terminals() []*Function {
 
 // Successors returns the distinct downstream function names of f, sorted.
 func (w *Workflow) Successors(name string) []string {
-	w.reindex()
-	f, ok := w.byName[name]
+	f, ok := w.reindex().byName[name]
 	if !ok {
 		return nil
 	}
@@ -261,9 +359,13 @@ type Edge struct {
 
 // Edges returns every data edge in declaration order.
 func (w *Workflow) Edges() []Edge {
+	return w.reindex().edges
+}
+
+// buildEdges materializes the edge list for an index snapshot.
+func buildEdges(fns []*Function, byName map[string]*Function) []Edge {
 	var out []Edge
-	w.reindex()
-	for _, f := range w.Functions {
+	for _, f := range fns {
 		for _, o := range f.Outputs {
 			for i, d := range o.Dests {
 				e := Edge{
@@ -274,7 +376,7 @@ func (w *Workflow) Edges() []Edge {
 					ToInput:    d.Input,
 					SwitchCase: i,
 				}
-				if dst, ok := w.byName[d.Function]; ok {
+				if dst, ok := byName[d.Function]; ok {
 					if in, ok := dst.Input(d.Input); ok {
 						e.InputKind = in.Kind
 					}
@@ -289,7 +391,6 @@ func (w *Workflow) Edges() []Edge {
 // TopoOrder returns the function names in a topological order of the data
 // graph. It returns an error if the graph has a cycle.
 func (w *Workflow) TopoOrder() ([]string, error) {
-	w.reindex()
 	indeg := make(map[string]int, len(w.Functions))
 	for _, f := range w.Functions {
 		indeg[f.Name] = 0

@@ -274,7 +274,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if back.Name != w.Name || len(back.Functions) != len(w.Functions) {
-		t.Fatalf("round trip mismatch: %+v", back)
+		t.Fatalf("round trip mismatch: name=%q functions=%d", back.Name, len(back.Functions))
 	}
 	f, ok := back.Function("count")
 	if !ok {
