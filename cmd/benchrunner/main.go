@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig2a, fig2b, fig2c, fig10..fig19); empty = all")
+	exp := flag.String("exp", "", "experiment id (fig2a, fig2b, fig2c, fig10..fig19, skew); empty = all paper figures")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Int64("seed", 0, "simulation seed (0 = default)")
 	flag.Parse()

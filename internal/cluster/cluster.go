@@ -2,14 +2,16 @@
 // nodes hosting function containers with memory-proportional CPU and
 // network resources (the paper allocates 0.1 core and 40 Mbps per 128 MB of
 // container memory, enforced with cgroup and TC), container pools with
-// keep-alive recycling, and the load balancer that maps functions to nodes
-// and publishes the routing table consumed by the per-node engines.
+// keep-alive recycling, and the elastic routing plane — placement policies
+// that map each function to an ordered replica set and publish it as a
+// versioned, immutable RoutingSnapshot consumed lock-free by the per-node
+// engines (see routing.go).
 package cluster
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -439,66 +441,23 @@ func (n *Node) adjustMemLocked(delta int64) {
 	n.memInt.Set(n.clk.Since(n.started), metrics.BytesToGB(n.memInUse))
 }
 
-// RoutingTable maps each function to the node that hosts it. The load
-// balancer publishes it; each node's engine consults it to locate the
-// destinations of its DLU transfers.
-type RoutingTable map[string]string
-
-// Clone returns a copy of the table.
-func (rt RoutingTable) Clone() RoutingTable {
-	out := make(RoutingTable, len(rt))
-	for k, v := range rt {
-		out[k] = v
-	}
-	return out
-}
-
-// PlacementPolicy decides which node hosts each function. DataFlower
-// exposes this interface so custom balancers can plug in (§6.1).
-type PlacementPolicy interface {
-	// Place assigns every function name to one of the node names.
-	Place(functions []string, nodes []string) RoutingTable
-}
-
-// RoundRobin is the default placement policy: functions are assigned to
-// nodes in declaration order, round-robin.
-type RoundRobin struct{}
-
-// Place implements PlacementPolicy.
-func (RoundRobin) Place(functions []string, nodes []string) RoutingTable {
-	rt := make(RoutingTable, len(functions))
-	if len(nodes) == 0 {
-		return rt
-	}
-	for i, fn := range functions {
-		rt[fn] = nodes[i%len(nodes)]
-	}
-	return rt
-}
-
-// SingleNode places every function on the same node (used by the
-// early-triggering experiment, which removes the network).
-type SingleNode struct{ Node string }
-
-// Place implements PlacementPolicy.
-func (s SingleNode) Place(functions []string, nodes []string) RoutingTable {
-	rt := make(RoutingTable, len(functions))
-	target := s.Node
-	if target == "" && len(nodes) > 0 {
-		target = nodes[0]
-	}
-	for _, fn := range functions {
-		rt[fn] = target
-	}
-	return rt
-}
-
-// Cluster groups the worker nodes and the load balancer.
+// Cluster groups the worker nodes and the load balancer. The node registry
+// is read-mostly — AddNode is a deployment-time event, while Node/Nodes sit
+// on engine paths — so it is guarded by an RWMutex and the published
+// routing state lives behind an atomic pointer (readers never contend with
+// a registration or a republish).
 type Cluster struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	nodes  map[string]*Node
 	order  []string
 	policy PlacementPolicy
+
+	// snap is the atomically published routing snapshot; pubMu orders
+	// version assignment and the store so concurrent publishers can never
+	// leave a lower-versioned snapshot current (readers stay lock-free).
+	snap        atomic.Pointer[RoutingSnapshot]
+	pubMu       sync.Mutex
+	snapVersion uint64 // guarded by pubMu
 }
 
 // NewCluster returns a cluster using the given placement policy
@@ -524,38 +483,100 @@ func (c *Cluster) AddNode(n *Node) error {
 
 // Node returns the named node.
 func (c *Cluster) Node(name string) (*Node, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	n, ok := c.nodes[name]
 	return n, ok
 }
 
 // Nodes returns the node names in registration order.
 func (c *Cluster) Nodes() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, len(c.order))
 	copy(out, c.order)
 	return out
 }
 
-// Place runs the placement policy over the given functions and returns the
-// routing table.
-func (c *Cluster) Place(functions []string) RoutingTable {
-	return c.policy.Place(functions, c.Nodes())
+// nodeList snapshots the registered nodes in registration order.
+func (c *Cluster) nodeList() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Node, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, c.nodes[name])
+	}
+	return out
 }
 
-// TotalMemIntegralGBs sums the per-node memory integrals.
+// Policy returns the cluster's placement policy.
+func (c *Cluster) Policy() PlacementPolicy { return c.policy }
+
+// Loads reads every node's live load (container count), the default
+// reading handed to placement policies. Node locks are taken one at a time
+// and the cluster lock is not held across them.
+func (c *Cluster) Loads() Loads {
+	nodes := c.nodeList()
+	loads := make(Loads, len(nodes))
+	for _, n := range nodes {
+		loads[n.Name] = float64(n.Containers(""))
+	}
+	return loads
+}
+
+// Place runs the placement policy over the given functions and publishes
+// the resulting snapshot. The policy callback runs without any cluster
+// lock held, so a policy is free to call back into the cluster (Nodes,
+// Loads, Snapshot) while deciding.
+func (c *Cluster) Place(functions []string) *RoutingSnapshot {
+	return c.Publish(c.policy.Place(functions, c.Nodes(), c.Loads()))
+}
+
+// Publish stamps the snapshot with the next version and atomically makes
+// it the cluster's current routing state. The caller hands over ownership:
+// the snapshot must not be mutated after Publish. Publications are
+// serialized so the current snapshot's version is monotonic even under
+// concurrent publishers.
+func (c *Cluster) Publish(s *RoutingSnapshot) *RoutingSnapshot {
+	c.pubMu.Lock()
+	c.snapVersion++
+	s.Version = c.snapVersion
+	c.snap.Store(s)
+	c.pubMu.Unlock()
+	return s
+}
+
+// Snapshot returns the most recently published routing snapshot (nil
+// before the first Place/Publish).
+func (c *Cluster) Snapshot() *RoutingSnapshot { return c.snap.Load() }
+
+// Rebalance offers the policy's Rebalance hook the current snapshot and
+// the given load readings (the cluster's own Loads() when nil). When the
+// policy implements Rebalancer and returns a replacement, the replacement
+// is published; ok reports whether a new snapshot was published.
+func (c *Cluster) Rebalance(functions []string, loads Loads) (snap *RoutingSnapshot, ok bool) {
+	reb, is := c.policy.(Rebalancer)
+	if !is {
+		return c.Snapshot(), false
+	}
+	if loads == nil {
+		loads = c.Loads()
+	}
+	next := reb.Rebalance(c.Snapshot(), functions, c.Nodes(), loads)
+	if next == nil {
+		return c.Snapshot(), false
+	}
+	return c.Publish(next), true
+}
+
+// TotalMemIntegralGBs sums the per-node memory integrals. The node
+// pointers are resolved under the read lock (the map itself must not be
+// read while AddNode writes it); the per-node integrals are read outside.
 func (c *Cluster) TotalMemIntegralGBs() float64 {
-	c.mu.Lock()
-	names := make([]string, len(c.order))
-	copy(names, c.order)
-	nodes := c.nodes
-	c.mu.Unlock()
-	sort.Strings(names)
+	nodes := c.nodeList()
 	total := 0.0
-	for _, name := range names {
-		total += nodes[name].MemIntegralGBs()
+	for _, n := range nodes {
+		total += n.MemIntegralGBs()
 	}
 	return total
 }

@@ -128,25 +128,28 @@ func TestContainersCount(t *testing.T) {
 }
 
 func TestRoundRobinPlacement(t *testing.T) {
-	rt := RoundRobin{}.Place([]string{"a", "b", "c", "d"}, []string{"n1", "n2", "n3"})
+	rt := RoundRobin{}.Place([]string{"a", "b", "c", "d"}, []string{"n1", "n2", "n3"}, nil).Table()
 	if rt["a"] != "n1" || rt["b"] != "n2" || rt["c"] != "n3" || rt["d"] != "n1" {
 		t.Fatalf("rt = %v", rt)
 	}
 }
 
 func TestRoundRobinNoNodes(t *testing.T) {
-	rt := RoundRobin{}.Place([]string{"a"}, nil)
-	if len(rt) != 0 {
-		t.Fatalf("rt = %v", rt)
+	snap := RoundRobin{}.Place([]string{"a"}, nil, nil)
+	if len(snap.Table()) != 0 {
+		t.Fatalf("rt = %v", snap.Table())
+	}
+	if reps := snap.Replicas("a"); len(reps) != 0 {
+		t.Fatalf("replicas = %v with no nodes", reps)
 	}
 }
 
 func TestSingleNodePlacement(t *testing.T) {
-	rt := SingleNode{Node: "n2"}.Place([]string{"a", "b"}, []string{"n1", "n2"})
+	rt := SingleNode{Node: "n2"}.Place([]string{"a", "b"}, []string{"n1", "n2"}, nil).Table()
 	if rt["a"] != "n2" || rt["b"] != "n2" {
 		t.Fatalf("rt = %v", rt)
 	}
-	rt = SingleNode{}.Place([]string{"a"}, []string{"n1", "n2"})
+	rt = SingleNode{}.Place([]string{"a"}, []string{"n1", "n2"}, nil).Table()
 	if rt["a"] != "n1" {
 		t.Fatalf("default single-node rt = %v", rt)
 	}
@@ -172,9 +175,16 @@ func TestClusterPlaceAndLookup(t *testing.T) {
 	if err := c.AddNode(NewNode("n1", Options{})); err == nil {
 		t.Fatal("duplicate node accepted")
 	}
-	rt := c.Place([]string{"f", "g"})
+	snap := c.Place([]string{"f", "g"})
+	rt := snap.Table()
 	if rt["f"] != "n1" || rt["g"] != "n2" {
 		t.Fatalf("rt = %v", rt)
+	}
+	if snap.Version == 0 {
+		t.Fatal("Place did not publish a versioned snapshot")
+	}
+	if got := c.Snapshot(); got != snap {
+		t.Fatalf("Snapshot() = %p, want the published %p", got, snap)
 	}
 	if _, ok := c.Node("n1"); !ok {
 		t.Fatal("node lookup failed")

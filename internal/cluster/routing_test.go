@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRoundRobinReplicaSets(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	snap := RoundRobin{Replicas: 2}.Place([]string{"a", "b", "c", "d"}, nodes, nil)
+	want := map[string][]string{
+		"a": {"n1", "n2"},
+		"b": {"n2", "n3"},
+		"c": {"n3", "n1"}, // wraps modulo the node count
+		"d": {"n1", "n2"}, // 4th function wraps back to n1
+	}
+	for fn, wantReps := range want {
+		reps := snap.Replicas(fn)
+		if len(reps) != len(wantReps) {
+			t.Fatalf("%s replicas = %v, want %v", fn, reps, wantReps)
+		}
+		for i, r := range reps {
+			if r.Node != wantReps[i] {
+				t.Fatalf("%s replicas = %v, want %v", fn, reps, wantReps)
+			}
+		}
+	}
+	// Primary view matches the classic single-replica round-robin.
+	if p, _ := snap.Primary("c"); p != "n3" {
+		t.Fatalf("primary(c) = %q", p)
+	}
+}
+
+func TestRoundRobinReplicasClampedToNodeCount(t *testing.T) {
+	snap := RoundRobin{Replicas: 10}.Place([]string{"a"}, []string{"n1", "n2"}, nil)
+	if reps := snap.Replicas("a"); len(reps) != 2 {
+		t.Fatalf("replicas = %v, want clamped to 2 nodes", reps)
+	}
+}
+
+func TestSingleReplicaMatchesLegacyRoundRobin(t *testing.T) {
+	// The zero-value RoundRobin must reproduce the pre-elastic placement
+	// exactly: every function exactly one replica, tables identical.
+	fns := []string{"a", "b", "c", "d", "e"}
+	nodes := []string{"n1", "n2", "n3"}
+	snap := RoundRobin{}.Place(fns, nodes, nil)
+	for i, fn := range fns {
+		reps := snap.Replicas(fn)
+		if len(reps) != 1 || reps[0].Node != nodes[i%len(nodes)] {
+			t.Fatalf("%s replicas = %v, want exactly [%s]", fn, reps, nodes[i%len(nodes)])
+		}
+	}
+}
+
+func TestLeastLoadedPlacementAndRebalance(t *testing.T) {
+	fns := []string{"a", "b"}
+	nodes := []string{"n1", "n2", "n3"}
+	loads := Loads{"n1": 5, "n2": 0, "n3": 1}
+	snap := LeastLoaded{Replicas: 2}.Place(fns, nodes, loads)
+	// Ranked order is n2, n3, n1; every set draws from the 2 least-loaded
+	// nodes only (n1, the busiest, is never placed), rotating the primary.
+	if reps := snap.Replicas("a"); reps[0].Node != "n2" || reps[1].Node != "n3" {
+		t.Fatalf("a replicas = %v", reps)
+	}
+	if reps := snap.Replicas("b"); reps[0].Node != "n3" || reps[1].Node != "n2" {
+		t.Fatalf("b replicas = %v", reps)
+	}
+	// Unchanged loads: Rebalance keeps the snapshot (nil).
+	if next := (LeastLoaded{Replicas: 2}).Rebalance(snap, fns, nodes, loads); next != nil {
+		t.Fatalf("rebalance with unchanged loads returned %v", next.Table())
+	}
+	// Shifted loads: a replacement comes back.
+	flipped := Loads{"n1": 0, "n2": 9, "n3": 1}
+	next := (LeastLoaded{Replicas: 2}).Rebalance(snap, fns, nodes, flipped)
+	if next == nil {
+		t.Fatal("rebalance with shifted loads returned nil")
+	}
+	if reps := next.Replicas("a"); reps[0].Node != "n1" {
+		t.Fatalf("rebalanced a replicas = %v", reps)
+	}
+}
+
+func TestSnapshotVersionMonotonic(t *testing.T) {
+	c := NewCluster(nil)
+	_ = c.AddNode(NewNode("n1", Options{}))
+	var last uint64
+	for i := 0; i < 5; i++ {
+		snap := c.Place([]string{"f"})
+		if snap.Version <= last {
+			t.Fatalf("version %d after %d: not monotonic", snap.Version, last)
+		}
+		last = snap.Version
+	}
+}
+
+func TestSnapshotImmutableAfterBuild(t *testing.T) {
+	sets := map[string][]Replica{"f": {{Node: "n1"}}}
+	snap := NewRoutingSnapshot(sets)
+	sets["f"][0].Node = "evil"
+	sets["g"] = []Replica{{Node: "n2"}}
+	if p, _ := snap.Primary("f"); p != "n1" {
+		t.Fatalf("snapshot aliased the caller's replica slice: primary(f) = %q", p)
+	}
+	if snap.Replicas("g") != nil {
+		t.Fatal("snapshot aliased the caller's map")
+	}
+}
+
+// reentrantPolicy calls back into the cluster from inside Place — the
+// deadlock regression guard for Place holding the cluster lock across the
+// user-supplied policy callback.
+type reentrantPolicy struct{ c *Cluster }
+
+func (p reentrantPolicy) Place(functions, nodes []string, loads Loads) *RoutingSnapshot {
+	// Any of these would deadlock if Place held c.mu across the callback.
+	_ = p.c.Nodes()
+	_, _ = p.c.Node("n1")
+	_ = p.c.Loads()
+	_ = p.c.TotalMemIntegralGBs()
+	return RoundRobin{}.Place(functions, nodes, loads)
+}
+
+func TestPlaceDoesNotHoldClusterLockAcrossPolicy(t *testing.T) {
+	c := NewCluster(nil)
+	pol := reentrantPolicy{c: c}
+	// NewCluster defaults the policy; install the reentrant one directly.
+	c.policy = pol
+	_ = c.AddNode(NewNode("n1", Options{}))
+	done := make(chan *RoutingSnapshot, 1)
+	go func() { done <- c.Place([]string{"f"}) }()
+	snap := <-done
+	if p, _ := snap.Primary("f"); p != "n1" {
+		t.Fatalf("placement = %v", snap.Table())
+	}
+}
+
+func TestClusterReadersDoNotContend(t *testing.T) {
+	// Read-mostly accessors racing AddNode and Place: exercised under
+	// -race in CI. Also checks Nodes stays consistent (prefix of the
+	// registration order).
+	c := NewCluster(nil)
+	_ = c.AddNode(NewNode("n0", Options{}))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				names := c.Nodes()
+				if len(names) == 0 || names[0] != "n0" {
+					t.Errorf("Nodes() = %v", names)
+					return
+				}
+				if _, ok := c.Node("n0"); !ok {
+					t.Error("n0 vanished")
+					return
+				}
+				_ = c.TotalMemIntegralGBs()
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	for i := 1; i <= 16; i++ {
+		if err := c.AddNode(NewNode(fmt.Sprintf("n%d", i), Options{})); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Place([]string{"f", "g"})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -138,7 +138,7 @@ func NewSystem(cfg Config) (*System, error) {
 	return &System{
 		cfg:      cfg,
 		wf:       cfg.Workflow,
-		routing:  cfg.Cluster.Place(fns),
+		routing:  cfg.Cluster.Place(fns).Table(),
 		handlers: make(map[string]Handler),
 	}, nil
 }

@@ -89,6 +89,51 @@ type Config struct {
 	// disables the background reaper; callers may still invoke
 	// Node.ReapIdle manually.
 	ReapInterval time.Duration
+	// Elastic configures the load-driven replica scaler. The zero value
+	// disables it, which (with a single-replica placement) preserves the
+	// pre-elastic one-node-per-function behavior exactly.
+	Elastic Elastic
+}
+
+// Elastic configures the background replica scaler: it periodically reads
+// every function's pending-instance count and T_FLU/transfer averages
+// (Eq. 1) and grows or shrinks the function's replica set, republishing the
+// cluster's routing snapshot on every change. If the cluster's placement
+// policy implements cluster.Rebalancer, the policy decides instead of the
+// built-in heuristics.
+type Elastic struct {
+	// Interval is the scaler tick; zero disables the scaler entirely.
+	Interval time.Duration
+	// MaxReplicas caps a function's replica set (cluster node count when 0).
+	MaxReplicas int
+	// ScaleUpPending is the pending-instances-per-replica threshold that
+	// triggers scale-out (DefaultScaleUpPending when 0).
+	ScaleUpPending int64
+	// ScaleDownTicks is how many consecutive idle scaler ticks retire one
+	// replica (DefaultScaleDownTicks when 0).
+	ScaleDownTicks int
+}
+
+// DefaultScaleUpPending is the default pending-per-replica scale-out
+// threshold.
+const DefaultScaleUpPending = 4
+
+// DefaultScaleDownTicks is the default idle-tick count before a replica is
+// retired.
+const DefaultScaleDownTicks = 3
+
+// withDefaults resolves the zero fields against the cluster size.
+func (e Elastic) withDefaults(nodes int) Elastic {
+	if e.MaxReplicas <= 0 || e.MaxReplicas > nodes {
+		e.MaxReplicas = nodes
+	}
+	if e.ScaleUpPending <= 0 {
+		e.ScaleUpPending = DefaultScaleUpPending
+	}
+	if e.ScaleDownTicks <= 0 {
+		e.ScaleDownTicks = DefaultScaleDownTicks
+	}
+	return e
 }
 
 // System is one deployed workflow. Its control path is deliberately free of
@@ -98,21 +143,40 @@ type Config struct {
 // DLU queue — so concurrent Invokes, handler completions, Puts and DLU
 // shipments never serialize on shared engine locks.
 type System struct {
-	cfg     Config
-	wf      *workflow.Workflow
-	routing cluster.RoutingTable
-	preds   map[string][]string
+	cfg   Config
+	wf    *workflow.Workflow
+	preds map[string][]string
 
 	// fns is the per-function control-plane state. The map itself is
 	// immutable after NewSystem (the values carry the mutable atomics), so
 	// hot-path lookups are lock-free.
-	fns    map[string]*fnState
-	fnList []*fnState // declaration order, for deterministic error reporting
+	fns     map[string]*fnState
+	fnList  []*fnState // declaration order, for deterministic error reporting
+	fnNames []string   // declaration order, for snapshot (re)publication
 
-	// routedNodes are the unique nodes hosting at least one function — the
-	// only sinks a request can leave residue in, and therefore the only
-	// nodes its teardown needs to sweep.
+	// static marks the pre-elastic fast path: the scaler is disabled and
+	// every function has exactly one replica, so routing decisions are the
+	// frozen primaries and requests need no per-request pin bookkeeping.
+	// Snapshots in this mode are bit-for-bit the old single-owner behavior.
+	static bool
+
+	// elastic is the resolved scaler configuration (Interval 0 = disabled).
+	elastic Elastic
+
+	// routedNodes are the unique nodes hosting at least one function — on
+	// the static path, the only sinks a request can leave residue in, and
+	// therefore the only nodes its teardown needs to sweep. (Elastic
+	// requests instead sweep exactly the nodes they pinned.)
 	routedNodes []*cluster.Node
+
+	// allNodes is every cluster node known at NewSystem in registration
+	// order (nodeNames holds their names — the node universe offered to a
+	// Rebalancer policy); nodeLoad holds the per-node in-flight instance
+	// counters replica selection and the scaler read (the "load" of
+	// locality-aware routing).
+	allNodes  []*cluster.Node
+	nodeNames []string
+	nodeLoad  map[*cluster.Node]*atomic.Int64
 
 	checkLog *pipe.CheckpointLog
 	epoch    time.Time
@@ -143,24 +207,46 @@ type System struct {
 	closed  bool
 
 	stopReaper chan struct{}
+	stopScaler chan struct{}
 	bg         sync.WaitGroup
 }
 
 // fnState is one function's control-plane record, resolved at NewSystem:
-// host node, container spec, concurrency cap, the registered handler and
+// replica set, container spec, concurrency cap, the registered handler and
 // the running FLU execution-time average (T_FLU in Eq. 1). The counters are
 // atomics so the post-handler update and the Put pressure read take no lock.
 type fnState struct {
 	name string
-	node *cluster.Node
 	spec cluster.Spec
 	sem  chan struct{} // instance concurrency cap
+
+	// replicas is the function's atomically published replica set (resolved
+	// node pointers, primary first). The scaler swaps in grown/shrunk
+	// slices; the Invoke/ship hot path loads the pointer once per decision,
+	// so replica selection never takes a lock and never sees a torn set.
+	replicas atomic.Pointer[[]*cluster.Node]
 
 	handler atomic.Pointer[Handler]
 
 	fluNanos atomic.Int64
 	fluCount atomic.Int64
+
+	// pending counts instances admitted but not yet completed — the
+	// queue-pressure signal the scaler combines with Eq. 1. putBytes and
+	// putCount accumulate DLU output sizes for the Eq. 1 transfer estimate.
+	// All three are maintained only when the scaler is enabled.
+	pending  atomic.Int64
+	putBytes atomic.Int64
+	putCount atomic.Int64
 }
+
+// replicaList returns the current replica set (never empty after NewSystem).
+func (f *fnState) replicaList() []*cluster.Node { return *f.replicas.Load() }
+
+// primary returns the function's primary replica node. The built-in
+// scaler grows and shrinks the tail of the set only, so the primary is
+// stable unless a cluster.Rebalancer policy republishes a reordered set.
+func (f *fnState) primary() *cluster.Node { return f.replicaList()[0] }
 
 // handlerFn returns the registered handler, or nil.
 func (f *fnState) handlerFn() Handler {
@@ -212,12 +298,7 @@ func NewSystem(cfg Config) (*System, error) {
 	for _, f := range cfg.Workflow.Functions {
 		fns = append(fns, f.Name)
 	}
-	routing := cfg.Cluster.Place(fns)
-	for _, fn := range fns {
-		if _, ok := routing[fn]; !ok {
-			return nil, fmt.Errorf("core: placement left %s unassigned", fn)
-		}
-	}
+	snap := cfg.Cluster.Place(fns)
 	preds := map[string][]string{}
 	for _, fn := range fns {
 		preds[fn] = cfg.Workflow.Predecessors(fn)
@@ -225,33 +306,61 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		cfg:      cfg,
 		wf:       cfg.Workflow,
-		routing:  routing,
 		preds:    preds,
+		fnNames:  fns,
 		checkLog: pipe.NewCheckpointLog(),
 		epoch:    time.Now(),
 		fns:      make(map[string]*fnState, len(fns)),
 	}
 	s.invs.init()
+	s.nodeLoad = make(map[*cluster.Node]*atomic.Int64)
+	for _, name := range cfg.Cluster.Nodes() {
+		if n, ok := cfg.Cluster.Node(name); ok {
+			s.allNodes = append(s.allNodes, n)
+			s.nodeNames = append(s.nodeNames, name)
+			s.nodeLoad[n] = new(atomic.Int64)
+		}
+	}
+	s.elastic = cfg.Elastic
+	if s.elastic.Interval > 0 {
+		s.elastic = s.elastic.withDefaults(len(s.allNodes))
+	}
+	s.static = s.elastic.Interval <= 0
 	seen := make(map[*cluster.Node]bool)
 	for _, fn := range fns {
-		node, ok := cfg.Cluster.Node(routing[fn])
-		if !ok {
-			return nil, fmt.Errorf("core: routing maps %s to unknown node %q", fn, routing[fn])
+		reps := snap.Replicas(fn)
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("core: placement left %s unassigned", fn)
+		}
+		nodes := make([]*cluster.Node, 0, len(reps))
+		for _, r := range reps {
+			node, ok := cfg.Cluster.Node(r.Node)
+			if !ok {
+				return nil, fmt.Errorf("core: routing maps %s to unknown node %q", fn, r.Node)
+			}
+			nodes = append(nodes, node)
+		}
+		if len(nodes) > 1 {
+			// A multi-replica placement needs per-request pinning even
+			// without the scaler running.
+			s.static = false
 		}
 		st := &fnState{
 			name: fn,
-			node: node,
 			spec: cfg.DefaultSpec,
 			sem:  make(chan struct{}, cfg.MaxContainersPerFn),
 		}
+		st.replicas.Store(&nodes)
 		if sp, ok := cfg.Spec[fn]; ok {
 			st.spec = sp
 		}
 		s.fns[fn] = st
 		s.fnList = append(s.fnList, st)
-		if !seen[node] {
-			seen[node] = true
-			s.routedNodes = append(s.routedNodes, node)
+		for _, node := range nodes {
+			if !seen[node] {
+				seen[node] = true
+				s.routedNodes = append(s.routedNodes, node)
+			}
 		}
 	}
 	workers := 4 * runtime.GOMAXPROCS(0)
@@ -267,6 +376,11 @@ func NewSystem(cfg Config) (*System, error) {
 		s.stopReaper = make(chan struct{})
 		s.bg.Add(1)
 		go s.reaper()
+	}
+	if s.elastic.Interval > 0 {
+		s.stopScaler = make(chan struct{})
+		s.bg.Add(1)
+		go s.scaler()
 	}
 	return s, nil
 }
@@ -292,8 +406,38 @@ func (s *System) reaper() {
 	}
 }
 
-// Routing returns the published routing table (function -> node).
-func (s *System) Routing() cluster.RoutingTable { return s.routing.Clone() }
+// Routing returns the flattened routing table (function -> primary node).
+// The built-in scaler heuristics never reassign primaries (they grow and
+// shrink replica-set tails only), so under them the table is stable for
+// the system's lifetime; a cluster.Rebalancer policy may move primaries,
+// and then the table reflects the latest applied snapshot.
+func (s *System) Routing() cluster.RoutingTable {
+	rt := make(cluster.RoutingTable, len(s.fnList))
+	for _, st := range s.fnList {
+		rt[st.name] = st.primary().Name
+	}
+	return rt
+}
+
+// RoutingSnapshot returns the cluster's most recently published routing
+// snapshot (placement at NewSystem, then every scaler change).
+func (s *System) RoutingSnapshot() *cluster.RoutingSnapshot {
+	return s.cfg.Cluster.Snapshot()
+}
+
+// Replicas returns the node names currently hosting fn, primary first.
+func (s *System) Replicas(fn string) []string {
+	st, ok := s.fns[fn]
+	if !ok {
+		return nil
+	}
+	reps := st.replicaList()
+	out := make([]string, len(reps))
+	for i, n := range reps {
+		out[i] = n.Name
+	}
+	return out
+}
 
 // Register installs the handler for a function. Every workflow function
 // must be registered before Invoke. Handlers may be re-registered (tests
@@ -319,12 +463,60 @@ func (s *System) Register(fn string, h Handler) error {
 	return nil
 }
 
-// node returns fn's host node.
-func (s *System) node(fn string) *cluster.Node {
-	if st, ok := s.fns[fn]; ok {
-		return st.node
+// routePin records one request's replica decision for a function: every
+// item of the request addressed to fn lands on (and every instance of fn
+// runs on) this node, so data-availability triggering stays node-local.
+type routePin struct {
+	fn      string
+	node    *cluster.Node
+	ordinal int // replica ordinal at pin time (stamps Item.Replica)
+}
+
+// selectReplica picks fn's replica for a new pin: prefer, when it hosts a
+// replica (locality-first — the producer's output skips the network ship),
+// else the replica whose node has the fewest in-flight instances.
+func (s *System) selectReplica(st *fnState, prefer *cluster.Node) (*cluster.Node, int) {
+	reps := st.replicaList()
+	if len(reps) == 1 {
+		return reps[0], 0
 	}
-	return nil
+	if prefer != nil {
+		for i, n := range reps {
+			if n == prefer {
+				return n, i
+			}
+		}
+	}
+	best, bi := reps[0], 0
+	bl := s.nodeLoad[reps[0]].Load()
+	for i := 1; i < len(reps); i++ {
+		if l := s.nodeLoad[reps[i]].Load(); l < bl {
+			best, bi, bl = reps[i], i, l
+		}
+	}
+	return best, bi
+}
+
+// routeFor resolves the node serving fn for this request, pinning the
+// replica choice on first use (write-once per request+function). The
+// static fast path short-circuits to the frozen primary with no per-request
+// state. Caller must not hold inv.mu.
+func (s *System) routeFor(inv *Invocation, st *fnState, prefer *cluster.Node) (*cluster.Node, int) {
+	if s.static {
+		return st.primary(), 0
+	}
+	inv.mu.Lock()
+	for i := range inv.route {
+		if inv.route[i].fn == st.name {
+			n, o := inv.route[i].node, inv.route[i].ordinal
+			inv.mu.Unlock()
+			return n, o
+		}
+	}
+	n, o := s.selectReplica(st, prefer)
+	inv.route = append(inv.route, routePin{fn: st.name, node: n, ordinal: o})
+	inv.mu.Unlock()
+	return n, o
 }
 
 // now returns time since system epoch (trace/sink timestamps).
@@ -360,6 +552,11 @@ type Invocation struct {
 	// readyScratch is the reusable newly-ready buffer for deliver (always
 	// accessed under mu).
 	readyScratch []dataflow.InstanceKey
+
+	// route holds the request's replica pins (elastic mode only; the static
+	// fast path needs none). A request touches a handful of functions, so a
+	// scanned slice beats a map, like arrived. Accessed under mu.
+	route []routePin
 
 	// sinkResidue counts sink entries this request may still own: +1 per
 	// landed Put, -1 per consuming Get that found its entry. A clean
@@ -452,10 +649,10 @@ func (inv *Invocation) finishLocked() {
 			if b.key.Idx != dataflow.BroadcastIdx {
 				continue
 			}
-			node := inv.sys.node(b.key.Fn)
-			at := node.Elapsed()
 			for _, ai := range b.items {
-				if _, _, ok := node.Sink.Get(at, ai.key); ok {
+				// ai.node is the node the item landed on (the request's
+				// pinned replica for that function).
+				if _, _, ok := ai.node.Sink.Get(ai.node.Elapsed(), ai.key); ok {
 					inv.sinkResidue.Add(-1)
 				}
 			}
@@ -464,7 +661,17 @@ func (inv *Invocation) finishLocked() {
 			return
 		}
 	}
-	for _, n := range inv.sys.routedNodes {
+	if inv.sys.static {
+		for _, n := range inv.sys.routedNodes {
+			n.Sink.ReleaseRequest(n.Elapsed(), inv.ReqID)
+		}
+		return
+	}
+	// Elastic mode: every sink Put of this request happened on a pinned
+	// node (land routes through routeFor before touching a sink), so the
+	// sweep covers exactly the request's pins instead of the whole fleet.
+	for i := range inv.route {
+		n := inv.route[i].node
 		n.Sink.ReleaseRequest(n.Elapsed(), inv.ReqID)
 	}
 }
@@ -566,6 +773,11 @@ type instanceJob struct {
 // instances block on each other through semaphores and data dependencies;
 // the spawn fallback preserves the goroutine-per-instance semantics.
 func (s *System) submitInstance(inv *Invocation, key dataflow.InstanceKey) {
+	if !s.static {
+		// Queue-pressure signal for the scaler: admitted, not yet completed
+		// (runInstance decrements on exit).
+		s.fns[key.Fn].pending.Add(1)
+	}
 	s.bg.Add(1)
 	for {
 		n := s.execIdle.Load()
@@ -603,7 +815,18 @@ func (s *System) execWorker() {
 func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	fn := key.Fn
 	st := s.fns[fn]
-	node := st.node
+	if !s.static {
+		defer st.pending.Add(-1)
+	}
+	// Replica selection: the node the request's data for fn was routed to
+	// (pinned at the first ship), or — for entry functions, which receive
+	// their input straight from the user — the least-loaded replica.
+	node, _ := s.routeFor(inv, st, nil)
+	if !s.static {
+		ld := s.nodeLoad[node]
+		ld.Add(1)
+		defer ld.Add(-1)
+	}
 	st.sem <- struct{}{}
 	defer func() { <-st.sem }()
 
@@ -616,9 +839,11 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 
 	// Consume the instance's data from the Wait-Match Memory so proactive
 	// release can reclaim it. Broadcast data is peeked, not consumed: it is
-	// shared by all instances and dropped at request completion. The sink
-	// calls nest under inv.mu (shard mutexes are leaf locks, the same order
-	// teardown uses), which spares a defensive copy of the arrived lists.
+	// shared by all instances and dropped at request completion. Each
+	// arrived item carries the node it landed on (the request's pin for
+	// this function — node, in every normal flow). The sink calls nest
+	// under inv.mu (shard mutexes are leaf locks, the same order teardown
+	// uses), which spares a defensive copy of the arrived lists.
 	inv.mu.Lock()
 	inputs := inv.tracker.InputsAppend(nil, key)
 	own := inv.arrivedFor(key)
@@ -626,12 +851,12 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	if len(own)+len(shared) > 0 {
 		at := node.Elapsed()
 		for _, ai := range own {
-			if _, _, ok := node.Sink.Get(at, ai.key); ok {
+			if _, _, ok := ai.node.Sink.Get(at, ai.key); ok {
 				inv.sinkResidue.Add(-1)
 			}
 		}
 		for _, ai := range shared {
-			node.Sink.Peek(at, ai.key)
+			ai.node.Sink.Peek(at, ai.key)
 		}
 	}
 	inv.mu.Unlock()

@@ -113,12 +113,17 @@ func (c *Context) put(output string, values []dataflow.Value, switchCase int) er
 			tflu := c.fst.avg()
 			pressure := time.Duration(s.cfg.Alpha*float64(totalSize)/bw*float64(time.Second)) - tflu
 			if pressure > 0 {
-				s.prewarm(c.Instance.Fn)
+				s.prewarm(c.Instance.Fn, c.ctr.Node)
 				// Callstack blocking: throttle this FLU so its producing
 				// rate matches the DLU's consuming rate.
 				c.ctr.Node.Clock().Sleep(pressure)
 			}
 		}
+	}
+	if !s.static {
+		// Transfer-size average for the scaler's Eq. 1 estimate.
+		c.fst.putBytes.Add(totalSize)
+		c.fst.putCount.Add(1)
 	}
 	// Hand the items to the container's DLU daemon (FIFO).
 	c.ctr.AddDLUPending(totalSize)
@@ -127,13 +132,15 @@ func (c *Context) put(output string, values []dataflow.Value, switchCase int) er
 }
 
 // prewarm starts an extra idle container for fn if none is idle, in the
-// background (the engine's reaction to a pressure notification).
-func (s *System) prewarm(fn string) {
+// background (the engine's reaction to a pressure notification). The
+// container is warmed on the node whose DLU backlog raised the pressure —
+// the replica this request (and every request pinned there) must keep
+// running on — mirroring the simulation plane's prewarm-on-own-node.
+func (s *System) prewarm(fn string, node *cluster.Node) {
 	st, ok := s.fns[fn]
 	if !ok {
 		return
 	}
-	node := st.node
 	if c, ok := node.AcquireIdle(fn); ok {
 		node.Release(c) // an idle container already exists
 		return
@@ -188,12 +195,16 @@ func (s *System) dluDaemon(ctr *cluster.Container, queue <-chan cluster.DLUTask)
 
 // sinkKey derives the Wait-Match Memory key of an item deterministically
 // from its addressing, so producers and consumers agree without extra
-// coordination. Built by hand (one allocation for the key string) because
-// it runs once per shipped item and once per consumed input — the
+// coordination. Items routed to a non-primary replica carry a
+// "#r<ordinal>" qualifier, so a key names both the datum and the replica
+// it was shipped to; primary-routed items (all of them, under a
+// single-replica snapshot) produce byte-identical keys to the pre-elastic
+// engine. Built by hand (one allocation for the key string) because it
+// runs once per shipped item and once per consumed input — the
 // fmt.Sprintf it replaces cost five extra allocations per call.
 func sinkKey(reqID string, it dataflow.Item) wmm.Key {
 	var b strings.Builder
-	b.Grow(len(it.Input) + len(it.From.Fn) + len(it.Output) + 16)
+	b.Grow(len(it.Input) + len(it.From.Fn) + len(it.Output) + 20)
 	b.WriteString(it.Input)
 	b.WriteByte('@')
 	writeInt(&b, it.To.Idx)
@@ -201,6 +212,10 @@ func sinkKey(reqID string, it dataflow.Item) wmm.Key {
 	writeInstanceKey(&b, it.From)
 	b.WriteByte('.')
 	b.WriteString(it.Output)
+	if it.Replica > 0 {
+		b.WriteString("#r")
+		writeInt(&b, it.Replica)
+	}
 	return wmm.Key{
 		ReqID: reqID,
 		Fn:    it.To.Fn,
@@ -232,11 +247,17 @@ func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item,
 			fmt.Sprintf("%s->%s %dB", it.Output, it.To, it.Value.Size))
 	}
 	if it.To.Fn == workflow.UserSource {
-		s.deliver(inv, it, wmm.Key{})
+		s.deliver(inv, it, wmm.Key{}, nil)
 		return
 	}
+	// Replica selection, locality-first: when the destination function has
+	// a replica on the producer's own node the ship degenerates to the
+	// local pipe (no network); otherwise the request pins the least-loaded
+	// replica. The pin is write-once per request+function, so every item
+	// and every instance of the function agree on the node.
 	srcNode := ctr.Node
-	dstNode := s.node(it.To.Fn)
+	dstNode, ordinal := s.routeFor(inv, s.fns[it.To.Fn], srcNode)
+	it.Replica = ordinal
 	payload, _ := it.Value.Payload.([]byte)
 
 	if dstNode == srcNode {
@@ -325,15 +346,17 @@ func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node) 
 		s.traceEvent(trace.DataArrived, inv.ReqID, it.To.Fn, it.To.Idx,
 			fmt.Sprintf("%s %dB", it.Input, it.Value.Size))
 	}
-	s.deliver(inv, it, key)
+	s.deliver(inv, it, key, dstNode)
 }
 
-// arrivedItem pairs a landed item with the sink key it was cached under, so
-// the consume side (instance Gets, teardown's broadcast reclaim) never
-// rebuilds the key string.
+// arrivedItem pairs a landed item with the sink key it was cached under and
+// the node whose sink holds it, so the consume side (instance Gets,
+// teardown's broadcast reclaim) never rebuilds the key string and never
+// re-derives the routing decision.
 type arrivedItem struct {
 	item dataflow.Item
 	key  wmm.Key
+	node *cluster.Node
 }
 
 // arrivedBucket collects the arrived items of one instance key.
@@ -365,14 +388,15 @@ func (inv *Invocation) recordArrived(key dataflow.InstanceKey, ai arrivedItem) {
 }
 
 // deliver advances the tracker with the item and reacts to readiness and
-// completion. key is the sink key the item was cached under (zero for
-// user-destined items, which never touch a sink). The whole reaction runs
-// under inv.mu — scheduling only hands jobs to the executor, and the
-// single hold lets the newly-ready buffer be reused across deliveries.
-func (s *System) deliver(inv *Invocation, it dataflow.Item, key wmm.Key) {
+// completion. key is the sink key the item was cached under and node the
+// node that cached it (zero/nil for user-destined items, which never touch
+// a sink). The whole reaction runs under inv.mu — scheduling only hands
+// jobs to the executor, and the single hold lets the newly-ready buffer be
+// reused across deliveries.
+func (s *System) deliver(inv *Invocation, it dataflow.Item, key wmm.Key, node *cluster.Node) {
 	inv.mu.Lock()
 	if it.To.Fn != workflow.UserSource {
-		inv.recordArrived(storeKeyOf(it), arrivedItem{item: it, key: key})
+		inv.recordArrived(storeKeyOf(it), arrivedItem{item: it, key: key, node: node})
 	}
 	newly, err := inv.tracker.DeliverInto(inv.readyScratch[:0], it)
 	inv.readyScratch = newly
@@ -428,6 +452,9 @@ func (s *System) Shutdown() {
 	s.closeMu.Unlock()
 	if s.stopReaper != nil {
 		close(s.stopReaper)
+	}
+	if s.stopScaler != nil {
+		close(s.stopScaler)
 	}
 	// Close every container's DLU queue. Nodes mark themselves shut first,
 	// so a cold start racing this loop produces a container that is born

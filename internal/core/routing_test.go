@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/workflow"
+)
+
+const chainDSL = `
+workflow chain
+function a
+  input in from $USER
+  output x to b.x
+function b
+  input x
+  output out to $USER
+`
+
+// newChainSystem builds an a->b chain over n nodes with the given policy
+// and config mutation.
+func newChainSystem(t testing.TB, nodes int, policy cluster.PlacementPolicy, cfgMut func(*Config)) *System {
+	t.Helper()
+	wf, err := workflow.ParseDSLString(chainDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewCluster(policy)
+	for i := 1; i <= nodes; i++ {
+		if err := cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i), cluster.Options{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := Config{
+		Workflow:    wf,
+		Cluster:     cl,
+		DefaultSpec: cluster.Spec{MemoryMB: 10 * 1024},
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("a", func(ctx *Context) error {
+		in, err := ctx.Input("in")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("x", in)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("b", func(ctx *Context) error {
+		x, err := ctx.Input("x")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("out", x)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMultiReplicaEndToEnd(t *testing.T) {
+	// Every function on two replicas: concurrent requests must route, pin,
+	// complete correctly and leave every sink drained.
+	sys := newChainSystem(t, 3, cluster.RoundRobin{Replicas: 2}, nil)
+	defer sys.Shutdown()
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inv, err := sys.Invoke(map[string][]byte{"a.in": []byte(fmt.Sprintf("p%d", i))})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := inv.Wait(); err != nil {
+				errs[i] = err
+				return
+			}
+			out, _ := inv.OutputBytes("out")
+			if string(out) != fmt.Sprintf("p%d", i) {
+				errs[i] = fmt.Errorf("out = %q", out)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+	}
+	for _, name := range sys.cfg.Cluster.Nodes() {
+		node, _ := sys.cfg.Cluster.Node(name)
+		if node.Sink.MemBytes() != 0 {
+			t.Fatalf("node %s sink holds %d bytes after completion", name, node.Sink.MemBytes())
+		}
+	}
+	if got := sys.Replicas("a"); len(got) != 2 {
+		t.Fatalf("Replicas(a) = %v", got)
+	}
+}
+
+func TestLocalityFirstSelection(t *testing.T) {
+	// a -> [w1,w2], b -> [w2,w1]: with the cluster idle, a pins its primary
+	// w1; b's replica set contains w1, so locality-first must run b on w1
+	// (local pipe) instead of shipping to b's primary w2. Pressure prewarm
+	// is off so containers exist exactly where instances ran.
+	sys := newChainSystem(t, 2, cluster.RoundRobin{Replicas: 2}, func(c *Config) {
+		c.DisablePressure = true
+	})
+	defer sys.Shutdown()
+	inv, err := sys.Invoke(map[string][]byte{"a.in": []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := sys.cfg.Cluster.Node("w1")
+	w2, _ := sys.cfg.Cluster.Node("w2")
+	if w1.Containers("b") != 1 || w2.Containers("b") != 0 {
+		t.Fatalf("b containers: w1=%d w2=%d, want co-located with a on w1",
+			w1.Containers("b"), w2.Containers("b"))
+	}
+}
+
+func TestReplicaPinIsStablePerRequest(t *testing.T) {
+	// All items of one request addressed to the same function must land on
+	// one node: a FOREACH fan-out consumed by a MERGE exercises multiple
+	// ships to the same destination function.
+	wf, err := workflow.ParseDSLString(wcDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewCluster(cluster.RoundRobin{Replicas: 3})
+	for i := 1; i <= 3; i++ {
+		_ = cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i), cluster.Options{}))
+	}
+	sys2, err := NewSystem(Config{
+		Workflow:    wf,
+		Cluster:     cl,
+		DefaultSpec: cluster.Spec{MemoryMB: 10 * 1024},
+		// Pressure prewarm may start containers on other replicas; disable
+		// it so containers exist exactly where instances ran.
+		DisablePressure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerWC(t, sys2)
+	defer sys2.Shutdown()
+	inv, err := sys2.Invoke(map[string][]byte{"start.src": []byte("a b a c b a d a b c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := inv.OutputBytes("out")
+	if string(out) != "a 4\nb 3\nc 2\nd 1\n" {
+		t.Fatalf("out = %q", out)
+	}
+	// count ran as 3 instances; all must have executed on one pinned node.
+	hosts := 0
+	for i := 1; i <= 3; i++ {
+		n, _ := cl.Node(fmt.Sprintf("w%d", i))
+		if n.Containers("count") > 0 {
+			hosts++
+		}
+	}
+	if hosts != 1 {
+		t.Fatalf("count containers spread over %d nodes within one request, want 1", hosts)
+	}
+}
+
+func TestReplicaQualifiedSinkKeys(t *testing.T) {
+	it := dataflow.Item{
+		From:   dataflow.InstanceKey{Fn: "a", Idx: 0},
+		Output: "x",
+		To:     dataflow.InstanceKey{Fn: "b", Idx: 0},
+		Input:  "x",
+	}
+	if got := sinkKey("req-1", it).Data; got != "x@0<-a[0].x" {
+		t.Fatalf("primary key = %q (must stay byte-identical to the pre-elastic form)", got)
+	}
+	it.Replica = 2
+	if got := sinkKey("req-1", it).Data; got != "x@0<-a[0].x#r2" {
+		t.Fatalf("replica key = %q", got)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestScalerAddsAndRetiresReplicas(t *testing.T) {
+	sys := newChainSystem(t, 4, nil, func(c *Config) {
+		c.Elastic = Elastic{
+			Interval:       time.Millisecond,
+			ScaleUpPending: 1,
+			ScaleDownTicks: 2,
+		}
+	})
+	defer sys.Shutdown()
+	// Slow consumer so b's pending queue builds under concurrent load.
+	if err := sys.Register("b", func(ctx *Context) error {
+		x, err := ctx.Input("x")
+		if err != nil {
+			return err
+		}
+		time.Sleep(3 * time.Millisecond)
+		return ctx.Put("out", x)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	startVersion := sys.RoutingSnapshot().Version
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				inv, err := sys.Invoke(map[string][]byte{"a.in": []byte("x")})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := inv.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(sys.Replicas("b")) > 1 },
+		"scaler never grew b past one replica under sustained pending load")
+	close(stop)
+	wg.Wait()
+	if v := sys.RoutingSnapshot().Version; v <= startVersion {
+		t.Fatalf("snapshot version %d did not advance past %d", v, startVersion)
+	}
+	// Load is gone: the scaler must retire the extra replicas.
+	waitFor(t, 5*time.Second, func() bool { return len(sys.Replicas("b")) == 1 },
+		"scaler never retired b's idle replicas")
+	if p := sys.Replicas("b")[0]; p != "w2" {
+		t.Fatalf("primary moved to %s; retirement must trim the tail only", p)
+	}
+}
+
+// rebalanceToAll is a Rebalancer policy that places every function on every
+// node once rebalanced (initially single-replica round-robin).
+type rebalanceToAll struct{}
+
+func (rebalanceToAll) Place(functions, nodes []string, loads cluster.Loads) *cluster.RoutingSnapshot {
+	return cluster.RoundRobin{}.Place(functions, nodes, loads)
+}
+
+func (rebalanceToAll) Rebalance(cur *cluster.RoutingSnapshot, functions, nodes []string, loads cluster.Loads) *cluster.RoutingSnapshot {
+	next := cluster.RoundRobin{Replicas: len(nodes)}.Place(functions, nodes, loads)
+	for _, fn := range functions {
+		if len(cur.Replicas(fn)) != len(nodes) {
+			return next
+		}
+	}
+	return nil // already everywhere
+}
+
+func TestRebalancerPolicyDrivesScaler(t *testing.T) {
+	sys := newChainSystem(t, 3, rebalanceToAll{}, func(c *Config) {
+		c.Elastic = Elastic{Interval: time.Millisecond}
+	})
+	defer sys.Shutdown()
+	waitFor(t, 5*time.Second, func() bool { return len(sys.Replicas("b")) == 3 },
+		"scaler never applied the Rebalancer policy's snapshot")
+	inv, err := sys.Invoke(map[string][]byte{"a.in": []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRepublishVsSelectionStorm(t *testing.T) {
+	// The -race storm of the routing plane: an aggressive scaler (1 ms
+	// ticks, scale-up at 1 pending, scale-down after 1 idle tick) keeps
+	// republishing replica sets while many goroutines run replica selection
+	// on the Invoke/ship hot path.
+	if testing.Short() {
+		t.Skip("storm test")
+	}
+	sys := newChainSystem(t, 4, nil, func(c *Config) {
+		c.Elastic = Elastic{
+			Interval:       time.Millisecond,
+			ScaleUpPending: 1,
+			ScaleDownTicks: 1,
+		}
+	})
+	defer sys.Shutdown()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				inv, err := sys.Invoke(map[string][]byte{"a.in": []byte("x")})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if err := inv.Wait(); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range sys.cfg.Cluster.Nodes() {
+		node, _ := sys.cfg.Cluster.Node(name)
+		if node.Sink.MemBytes() != 0 {
+			t.Fatalf("node %s sink holds %d bytes after the storm", name, node.Sink.MemBytes())
+		}
+	}
+}

@@ -46,7 +46,13 @@ type Item struct {
 	Output string
 	To     InstanceKey // To.Idx may be BroadcastIdx
 	Input  string      // empty when To is the user
-	Value  Value
+	// Replica is the ordinal of the destination replica the routing plane
+	// selected for this item (0 = primary). The tracker routes items with
+	// Replica 0; an engine shipping to a non-primary replica stamps the
+	// ordinal so sink keys are replica-qualified and a consumer landing on
+	// the same replica derives the identical key.
+	Replica int
+	Value   Value
 }
 
 // Tracker tracks one request's data-flow state. It is not safe for

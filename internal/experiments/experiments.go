@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/simcluster"
 	"repro/internal/workloads"
 )
@@ -594,6 +595,52 @@ func Fig19(o Options) *Report {
 	return rep
 }
 
+// Skew demonstrates the elastic routing plane on the simulation plane
+// (beyond the paper's figures): the four benchmarks co-located on the
+// three workers with arrivals Zipf-skewed toward wc, comparing the pinned
+// single-replica placement against replicated round-robin placement under
+// DataFlower. With replicas, the hot workflow's functions can run on more
+// than one node, so the hot node's NIC and dispatch queue stop being the
+// ceiling.
+func Skew(o Options) *Report {
+	rep := &Report{ID: "skew", Title: "Zipf-skewed co-located load: pinned vs replicated placement (DataFlower)"}
+	tab := &Table{
+		Header: []string{"placement", "hot avg (s)", "hot p99 (s)", "hot reqs", "throughput (rpm)", "failed"},
+	}
+	count := 120
+	rpm := 360.0
+	if o.Quick {
+		count, rpm = 40, 240
+	}
+	for _, pl := range []struct {
+		name string
+		pol  cluster.PlacementPolicy
+	}{
+		{"pinned (1 replica)", nil},
+		{"replicated (x2)", cluster.RoundRobin{Replicas: 2}},
+		{"replicated (x3)", cluster.RoundRobin{Replicas: 3}},
+	} {
+		all := benchProfiles()
+		s := simcluster.New(simcluster.Config{
+			Kind:      simcluster.DataFlower,
+			Profile:   all[3], // wc is the hot workflow (Zipf rank 0)
+			Colocated: all[:3],
+			Placement: pl.pol,
+			Seed:      o.seed(),
+		})
+		res := s.RunSkewedOpenLoop(rpm, count, 2.0)
+		hot := s.LatencyOf("wc")
+		tab.Rows = append(tab.Rows, []string{
+			pl.name, f3(hot.Mean()), f3(hot.P99()), fmt.Sprint(hot.Count()),
+			f1(res.ThroughputRPM), fmt.Sprint(res.Failed),
+		})
+	}
+	rep.Tables = append(rep.Tables, tab)
+	rep.Notes = append(rep.Notes,
+		"not a paper figure: exercises the elastic routing plane (replica sets + locality-first selection)")
+	return rep
+}
+
 // cloneProfile re-derives a fresh profile (profiles hold parsed workflows
 // that are safe to share, but distinct sims should not share tracker state;
 // re-deriving keeps runs independent).
@@ -626,6 +673,7 @@ func ByID(id string) (func(Options) *Report, bool) {
 		"fig10": Fig10, "fig11": Fig11, "fig12": Fig12, "fig13": Fig13,
 		"fig14": Fig14, "fig15": Fig15, "fig16": Fig16, "fig17": Fig17,
 		"fig18": Fig18, "fig19": Fig19,
+		"skew": Skew,
 	}
 	f, ok := m[id]
 	return f, ok

@@ -2,11 +2,13 @@ package simcluster
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/workloads"
 )
 
 // completionTimes are needed to window closed-loop throughput; record them
@@ -26,24 +28,25 @@ func (s *Sim) RunOne() *Result {
 	return s.result(s.makespan())
 }
 
-// RunOpenLoop generates count asynchronous requests at the given rate
-// (requests per minute) with exponential inter-arrival times, then runs to
-// completion. This is the paper's asynchronous invocation pattern (§9.1).
-func (s *Sim) RunOpenLoop(rpm float64, count int) *Result {
+// openLoop is the shared asynchronous arrival driver: count requests at
+// the given aggregate rate (requests per minute, exponential inter-arrival
+// times capped at 4x the mean), each invoking pick(i)'s workflow, run to
+// completion. Cold-start transients are excluded from the latency sample
+// (the paper's figures report steady-state latencies).
+func (s *Sim) openLoop(rpm float64, count int, pick func(i int) *workloads.Profile) *Result {
 	if rpm <= 0 || count <= 0 {
 		return s.result(0)
 	}
 	meanGap := time.Duration(60 / rpm * float64(time.Second))
-	// Exclude cold-start transients from the latency sample: the paper's
-	// figures report steady-state latencies.
 	s.warmupSeq = int64(count / 5)
 	if s.warmupSeq > 12 {
 		s.warmupSeq = 12
 	}
 	s.env.Go("loadgen", func(p *sim.Proc) {
 		for i := 0; i < count; i++ {
+			prof := pick(i)
 			s.env.Go("req", func(rp *sim.Proc) {
-				req := s.invoke(rp, s.cfg.Profile)
+				req := s.invoke(rp, prof)
 				rp.Wait(req.done)
 			})
 			gap := time.Duration(s.env.Rand().ExpFloat64() * float64(meanGap))
@@ -55,6 +58,30 @@ func (s *Sim) RunOpenLoop(rpm float64, count int) *Result {
 	})
 	s.env.Run()
 	return s.result(s.makespan())
+}
+
+// RunOpenLoop generates count asynchronous requests at the given rate
+// (requests per minute) with exponential inter-arrival times, then runs to
+// completion. This is the paper's asynchronous invocation pattern (§9.1).
+func (s *Sim) RunOpenLoop(rpm float64, count int) *Result {
+	return s.openLoop(rpm, count, func(int) *workloads.Profile { return s.cfg.Profile })
+}
+
+// RunSkewedOpenLoop is RunOpenLoop with each arrival's workflow drawn from
+// a Zipf distribution over the deployed workflows in deployment order —
+// the primary profile is rank 0 and therefore the hot workflow. skew is
+// the Zipf s parameter (values <= 1 default to 1.5; larger is hotter).
+// With a single deployed workflow it degenerates to RunOpenLoop. This is
+// the workload the elastic routing plane exists for: popularity skew
+// concentrating load on one workflow's functions.
+func (s *Sim) RunSkewedOpenLoop(rpm float64, count int, skew float64) *Result {
+	if skew <= 1 {
+		skew = 1.5
+	}
+	zipf := rand.NewZipf(s.env.Rand(), skew, 1, uint64(len(s.profs)-1))
+	return s.openLoop(rpm, count, func(int) *workloads.Profile {
+		return s.profs[int(zipf.Uint64())]
+	})
 }
 
 // RunBurst generates a low load followed by a sudden burst (§9.5: wc jumps

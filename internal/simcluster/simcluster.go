@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataflow"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -72,6 +73,13 @@ type Config struct {
 	Workers int
 	// SingleNode forces all functions onto one worker (§9.4 setup).
 	SingleNode bool
+	// Placement overrides the placement policy: the same snapshot/policy
+	// types the runtime plane's cluster uses (nil defaults to
+	// cluster.RoundRobin{} — or cluster.SingleNode{} when SingleNode is
+	// set — which reproduces the classic one-node-per-function placement
+	// exactly). Replica sets beyond the primary are honoured by the
+	// DataFlower kinds only; control-flow baselines route to primaries.
+	Placement cluster.PlacementPolicy
 	// MemMB is the container memory spec (default 128; §9.7 scales it).
 	MemMB int
 	// MaxContainersPerFn bounds scale-out per function (default 40).
@@ -242,14 +250,25 @@ type node struct {
 	fns  map[string]*fnState
 }
 
-// fnState is the per-function scheduling state on its home node.
+// fnState is the per-function scheduling state on one of its replica
+// nodes (one fnState per function-replica pair).
 type fnState struct {
 	fn      string
 	node    *node
 	workQ   *sim.Queue // *work items
 	idleQ   *sim.Queue // *container
-	started int        // containers created
+	started int        // containers created on this replica
+	// fnStarted counts containers across all replicas of the function —
+	// shared by its fnStates so Config.MaxContainersPerFn stays a
+	// per-function bound (as documented, and as the runtime plane's shared
+	// per-function semaphore enforces) rather than silently multiplying
+	// by the replica count.
+	fnStarted *int
 }
+
+// atFnCap reports whether the function (across all replicas) has reached
+// the per-function container bound.
+func (fs *fnState) atFnCap(max int) bool { return *fs.fnStarted >= max }
 
 // container is one simulated function container.
 type container struct {
@@ -280,6 +299,9 @@ type request struct {
 	tracker *dataflow.Tracker
 	arrived time.Duration
 	done    *sim.Event // triggered with latency (time.Duration) or error
+	// pin records the replica chosen per function for this request
+	// (allocated lazily; single-replica functions never touch it).
+	pin map[string]*node
 	// control-flow bookkeeping: remaining instances per function.
 	remaining   map[string]int
 	finished    map[string]bool
@@ -295,9 +317,13 @@ type Sim struct {
 	nodes   []*node
 	storage *simnet.Endpoint
 	user    *simnet.Endpoint
-	routing map[string]*node
-	profOf  map[string]*workloads.Profile
-	profs   []*workloads.Profile
+	// routing maps each function to its primary replica (the control-flow
+	// baselines' only route); replicas holds the full ordered replica set
+	// the DataFlower kinds select from.
+	routing  map[string]*node
+	replicas map[string][]*node
+	profOf   map[string]*workloads.Profile
+	profs    []*workloads.Profile
 
 	fluAvg map[string]*avgTracker
 
@@ -346,6 +372,7 @@ func New(cfg Config) *Sim {
 		storage:   fab.NewEndpoint("storage", cfg.StorageBps),
 		user:      fab.NewEndpoint("user", 0),
 		routing:   make(map[string]*node),
+		replicas:  make(map[string][]*node),
 		profOf:    make(map[string]*workloads.Profile),
 		fluAvg:    make(map[string]*avgTracker),
 		memInt:    metrics.NewIntegral(),
@@ -373,37 +400,110 @@ func New(cfg Config) *Sim {
 		}
 		s.nodes = append(s.nodes, n)
 	}
-	// Placement: round-robin in declaration order (or single node).
+	// Placement: the same snapshot/policy types the runtime plane uses. The
+	// defaults reproduce the classic placement exactly — round-robin in
+	// declaration order, or everything on worker 0 under SingleNode.
 	s.profs = append(s.profs, cfg.Profile)
 	s.profs = append(s.profs, cfg.Colocated...)
-	slot := 0
+	var fnNames []string
 	for _, prof := range s.profs {
 		for _, f := range prof.Workflow.Functions {
-			if _, dup := s.routing[f.Name]; dup {
+			if _, dup := s.profOf[f.Name]; dup {
 				panic(fmt.Sprintf("simcluster: duplicate function name %q across colocated workflows", f.Name))
 			}
-			var n *node
-			if cfg.SingleNode {
-				n = s.nodes[0]
-			} else {
-				n = s.nodes[slot%len(s.nodes)]
-			}
-			slot++
-			s.routing[f.Name] = n
 			s.profOf[f.Name] = prof
-			fs := &fnState{
-				fn:    f.Name,
-				node:  n,
-				workQ: sim.NewQueue(env, 0),
-				idleQ: sim.NewQueue(env, 0),
-			}
-			n.fns[f.Name] = fs
-			s.fluAvg[f.Name] = &avgTracker{}
-			s.fnStats[f.Name] = &FnStat{}
-			env.Go("dispatch-"+f.Name, func(p *sim.Proc) { s.dispatcher(p, fs) })
+			fnNames = append(fnNames, f.Name)
 		}
 	}
+	pol := cfg.Placement
+	if pol == nil {
+		if cfg.SingleNode {
+			pol = cluster.SingleNode{}
+		} else {
+			pol = cluster.RoundRobin{}
+		}
+	}
+	nodeNames := make([]string, len(s.nodes))
+	nodeByName := make(map[string]*node, len(s.nodes))
+	for i, n := range s.nodes {
+		nodeNames[i] = n.name
+		nodeByName[n.name] = n
+	}
+	snap := pol.Place(fnNames, nodeNames, nil)
+	for _, fn := range fnNames {
+		reps := snap.Replicas(fn)
+		if len(reps) == 0 {
+			panic(fmt.Sprintf("simcluster: placement left %q unassigned", fn))
+		}
+		fnStarted := new(int)
+		for _, r := range reps {
+			n, ok := nodeByName[r.Node]
+			if !ok {
+				panic(fmt.Sprintf("simcluster: placement maps %q to unknown node %q", fn, r.Node))
+			}
+			s.replicas[fn] = append(s.replicas[fn], n)
+			fs := &fnState{
+				fn:        fn,
+				node:      n,
+				workQ:     sim.NewQueue(env, 0),
+				idleQ:     sim.NewQueue(env, 0),
+				fnStarted: fnStarted,
+			}
+			n.fns[fn] = fs
+			env.Go("dispatch-"+fn, func(p *sim.Proc) { s.dispatcher(p, fs) })
+		}
+		s.routing[fn] = s.replicas[fn][0]
+		s.fluAvg[fn] = &avgTracker{}
+		s.fnStats[fn] = &FnStat{}
+	}
 	return s
+}
+
+// replicaFor returns the node serving fn for this request under the
+// DataFlower kinds, pinning the choice on first use so every item and
+// instance of the function stays node-local: prefer when it hosts a
+// replica (locality-first — the ship degenerates to the local pipe), else
+// the replica with the least outstanding work. Single-replica functions
+// short-circuit with no per-request state, preserving the classic
+// semantics bit-for-bit.
+func (s *Sim) replicaFor(req *request, fn string, prefer *node) *node {
+	reps := s.replicas[fn]
+	if len(reps) == 1 {
+		return reps[0]
+	}
+	if n, ok := req.pin[fn]; ok {
+		return n
+	}
+	var chosen *node
+	if prefer != nil {
+		for _, n := range reps {
+			if n == prefer {
+				chosen = n
+				break
+			}
+		}
+	}
+	if chosen == nil {
+		chosen = reps[0]
+		best := s.replicaLoad(reps[0], fn)
+		for _, n := range reps[1:] {
+			if l := s.replicaLoad(n, fn); l < best {
+				chosen, best = n, l
+			}
+		}
+	}
+	if req.pin == nil {
+		req.pin = make(map[string]*node)
+	}
+	req.pin[fn] = chosen
+	return chosen
+}
+
+// replicaLoad estimates a replica's outstanding work: queued instances
+// plus containers that are started and not idle.
+func (s *Sim) replicaLoad(n *node, fn string) int {
+	fs := n.fns[fn]
+	return fs.workQ.Len() + fs.started - fs.idleQ.Len()
 }
 
 // execTime scales the function's reference execution time by container size.
@@ -443,7 +543,7 @@ func (s *Sim) dispatcher(p *sim.Proc, fs *fnState) {
 		var c *container
 		if ci, ok := fs.idleQ.TryGet(); ok {
 			c = ci.(*container)
-		} else if fs.started >= s.cfg.MaxContainersPerFn {
+		} else if fs.atFnCap(s.cfg.MaxContainersPerFn) {
 			ci, ok := p.Get(fs.idleQ)
 			if !ok {
 				return
@@ -478,6 +578,7 @@ func (s *Sim) dispatcher(p *sim.Proc, fs *fnState) {
 // serverless reality that makes prewarming valuable).
 func (s *Sim) coldStart(p *sim.Proc, fs *fnState) *container {
 	fs.started++
+	*fs.fnStarted++
 	s.containers++
 	s.memInt.AddDelta(s.env.Now(), float64(s.cfg.MemMB)/1024)
 	p.Sleep(s.cfg.ColdStart)
@@ -501,11 +602,12 @@ func (s *Sim) coldStart(p *sim.Proc, fs *fnState) *container {
 // prewarm starts an extra container in the background in response to a
 // pressure notification from a DLU.
 func (s *Sim) prewarm(fs *fnState) {
-	if fs.started >= s.cfg.MaxContainersPerFn {
+	if fs.atFnCap(s.cfg.MaxContainersPerFn) {
 		return
 	}
 	s.prewarms++
 	fs.started++
+	*fs.fnStarted++
 	s.containers++
 	s.memInt.AddDelta(s.env.Now(), float64(s.cfg.MemMB)/1024)
 	s.env.Go("prewarm-"+fs.fn, func(p *sim.Proc) {

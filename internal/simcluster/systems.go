@@ -23,8 +23,14 @@ func (s *Sim) invoke(p *sim.Proc, prof *workloads.Profile) *request {
 
 	entries := prof.Workflow.Entries()
 	for _, f := range entries {
+		// The load generator ships the input to the entry node. DataFlower
+		// pins the entry replica here, so the bytes are charged to the NIC
+		// of the node the entry instance will actually run on; control-flow
+		// kinds always route to the primary.
 		n := s.routing[f.Name]
-		// The load generator ships the input to the entry node.
+		if s.kindIsDataflower() {
+			n = s.replicaFor(req, f.Name, nil)
+		}
 		s.transfer(p, nil, prof.InputSize, s.user, n.nic)
 	}
 	userInput := map[string]dataflow.Value{}
@@ -41,9 +47,15 @@ func (s *Sim) invoke(p *sim.Proc, prof *workloads.Profile) *request {
 	}
 	if s.cfg.PrewarmOnArrival {
 		// Data-dependency prewarming (§10): every function of this workflow
-		// will receive data; warm the empty pools now.
+		// will receive data; warm the empty pools now — on the request's
+		// pinned replica where one exists (entry functions), else the
+		// primary (downstream pins are not known yet).
 		for _, f := range prof.Workflow.Functions {
-			fs := s.routing[f.Name].fns[f.Name]
+			n := s.routing[f.Name]
+			if pinned, ok := req.pin[f.Name]; ok {
+				n = pinned
+			}
+			fs := n.fns[f.Name]
 			if fs.started == 0 {
 				s.prewarm(fs)
 			}
@@ -73,7 +85,9 @@ func (s *Sim) dfTrigger(req *request, keys []dataflow.InstanceKey) {
 		s.traceEvent(trace.InstanceReady, req, key.Fn, key.Idx, "")
 		s.env.ScheduleAt(s.env.Now()+dfTriggerDelay, func() {
 			s.traceEvent(trace.InstanceTriggered, req, key.Fn, key.Idx, "")
-			fs := s.routing[key.Fn].fns[key.Fn]
+			// The request's pinned replica (set when its data landed), or —
+			// for entry functions — the least-loaded replica.
+			fs := s.replicaFor(req, key.Fn, nil).fns[key.Fn]
 			fs.workQ.TryPut(&work{req: req, key: key})
 		})
 	}
@@ -141,7 +155,9 @@ func (s *Sim) dfExecute(p *sim.Proc, c *container, w *work) {
 			pressure := time.Duration(s.cfg.Alpha*float64(total)/s.cfg.containerBps()*float64(time.Second)) - s.fluAvg[key.Fn].avg()
 			if pressure > 0 {
 				if backlog {
-					s.prewarm(s.routing[key.Fn].fns[key.Fn])
+					// Prewarm on the container's own node: the replica this
+					// request (and its backlog) is pinned to.
+					s.prewarm(c.node.fns[key.Fn])
 				}
 				p.Sleep(pressure) // Callstack blocking, overlapping the DLU pump
 			}
@@ -222,7 +238,9 @@ func (s *Sim) dfShip(p *sim.Proc, c *container, req *request, it dataflow.Item) 
 		s.dfDeliver(req, it)
 		return
 	}
-	dst := s.routing[it.To.Fn]
+	// Replica selection, locality-first: a replica on the producer's node
+	// turns the ship into a local pipe.
+	dst := s.replicaFor(req, it.To.Fn, c.node)
 	switch {
 	case dst == c.node:
 		// Local pipe connector: pump straight into the local sink.
