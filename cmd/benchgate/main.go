@@ -1,0 +1,194 @@
+// Command benchgate is the CI benchmark-regression gate: it parses `go test
+// -bench` output into a small JSON summary and compares a fresh summary
+// against a committed baseline, failing when any benchmark's throughput
+// dropped by more than the allowed fraction.
+//
+// Usage:
+//
+//	benchgate -parse bench.txt -out BENCH_PR4.json
+//	benchgate -compare -baseline BENCH_PR4.json -current fresh.json [-max-drop 0.25]
+//
+// Parsing keeps the best (lowest ns/op) run per benchmark across -count
+// repetitions, so the gate measures capability, not scheduler noise. Exit
+// codes: 0 ok, 1 regression, 2 usage/IO error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Summary is the JSON artifact: one entry per benchmark.
+type Summary struct {
+	Schema     string           `json:"schema"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's best observed run.
+type Bench struct {
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+const schema = "benchgate/v1"
+
+func main() {
+	parse := flag.String("parse", "", "go test -bench output file to parse")
+	out := flag.String("out", "", "JSON summary to write (with -parse)")
+	compare := flag.Bool("compare", false, "compare -current against -baseline")
+	baseline := flag.String("baseline", "", "committed baseline JSON")
+	current := flag.String("current", "", "freshly measured JSON")
+	maxDrop := flag.Float64("max-drop", 0.25, "max tolerated throughput drop (fraction)")
+	flag.Parse()
+
+	switch {
+	case *parse != "" && *out != "":
+		sum, err := parseFile(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		if len(sum.Benchmarks) == 0 {
+			fatal(fmt.Errorf("no benchmark lines found in %s", *parse))
+		}
+		if err := writeJSON(*out, sum); err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(sum.Benchmarks))
+		for name := range sum.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b := sum.Benchmarks[name]
+			fmt.Printf("%-60s %12.0f ns/op %14.1f ops/s\n", name, b.NsPerOp, b.OpsPerSec)
+		}
+	case *compare && *baseline != "" && *current != "":
+		base, err := readJSON(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readJSON(*current)
+		if err != nil {
+			fatal(err)
+		}
+		regressions := compareSummaries(base, cur, *maxDrop)
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n",
+			len(base.Benchmarks), *maxDrop*100)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}
+
+// parseFile reads `go test -bench` output, keeping the best ns/op per
+// benchmark (the "-8" GOMAXPROCS suffix is stripped so summaries compare
+// across machines).
+func parseFile(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sum := &Summary{Schema: schema, Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := sum.Benchmarks[name]; !seen || ns < prev.NsPerOp {
+			sum.Benchmarks[name] = Bench{NsPerOp: ns, OpsPerSec: 1e9 / ns}
+		}
+	}
+	return sum, sc.Err()
+}
+
+// parseLine extracts (name, ns/op) from one benchmark result line.
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil || ns <= 0 {
+				return "", 0, false
+			}
+			return name, ns, true
+		}
+	}
+	return "", 0, false
+}
+
+// compareSummaries lists every benchmark whose current throughput dropped
+// more than maxDrop below the baseline, or that went missing.
+func compareSummaries(base, cur *Summary, maxDrop float64) []string {
+	var out []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		drop := 1 - c.OpsPerSec/b.OpsPerSec
+		if drop > maxDrop {
+			out = append(out, fmt.Sprintf("%s: %.1f%% throughput drop (%.1f -> %.1f ops/s, limit %.0f%%)",
+				name, drop*100, b.OpsPerSec, c.OpsPerSec, maxDrop*100))
+		}
+	}
+	return out
+}
+
+func writeJSON(path string, sum *Summary) error {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readJSON(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sum := new(Summary)
+	if err := json.Unmarshal(data, sum); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if sum.Schema != schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, sum.Schema, schema)
+	}
+	return sum, nil
+}

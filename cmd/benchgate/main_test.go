@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Some CPU
+BenchmarkInvokeThroughput/goroutines=16-2         	  250000	      4600 ns/op	    2616 B/op	      30 allocs/op	    217391 req/s
+BenchmarkInvokeThroughput/goroutines=16-2         	  260000	      4400 ns/op	    2616 B/op	      30 allocs/op	    227272 req/s
+BenchmarkSinkParallel/goroutines=16-2             	 1000000	      1084 ns/op
+PASS
+ok  	repro/internal/core	12.3s
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseKeepsBestRun(t *testing.T) {
+	sum, err := parseFile(writeTemp(t, "bench.txt", sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(sum.Benchmarks))
+	}
+	b, ok := sum.Benchmarks["BenchmarkInvokeThroughput/goroutines=16"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", sum.Benchmarks)
+	}
+	if b.NsPerOp != 4400 {
+		t.Fatalf("best ns/op = %v, want 4400 (min across -count runs)", b.NsPerOp)
+	}
+	if b.OpsPerSec < 227272 || b.OpsPerSec > 227273 {
+		t.Fatalf("ops/s = %v", b.OpsPerSec)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	repro/internal/core	12.3s",
+		"goos: linux",
+		"BenchmarkX", // result fields missing
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Fatalf("parsed noise line %q", line)
+		}
+	}
+}
+
+func TestCompareFlagsDropsAndMissing(t *testing.T) {
+	base := &Summary{Schema: schema, Benchmarks: map[string]Bench{
+		"A": {NsPerOp: 100, OpsPerSec: 1e7},
+		"B": {NsPerOp: 100, OpsPerSec: 1e7},
+		"C": {NsPerOp: 100, OpsPerSec: 1e7},
+	}}
+	cur := &Summary{Schema: schema, Benchmarks: map[string]Bench{
+		"A": {NsPerOp: 125, OpsPerSec: 8e6}, // 20% drop: within a 25% gate
+		"B": {NsPerOp: 200, OpsPerSec: 5e6}, // 50% drop: regression
+		// C missing: regression
+	}}
+	regs := compareSummaries(base, cur, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want B drop + C missing", regs)
+	}
+	if !strings.Contains(regs[0], "B:") || !strings.Contains(regs[1], "C: missing") {
+		t.Fatalf("unexpected regression set: %v", regs)
+	}
+	if regs = compareSummaries(base, base, 0.25); len(regs) != 0 {
+		t.Fatalf("self-compare flagged %v", regs)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sum.json")
+	sum := &Summary{Schema: schema, Benchmarks: map[string]Bench{
+		"A": {NsPerOp: 100, OpsPerSec: 1e7},
+	}}
+	if err := writeJSON(path, sum); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks["A"] != sum.Benchmarks["A"] {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := readJSON(writeTemp(t, "bad.json", `{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

@@ -4,21 +4,25 @@
 //
 //	benchrunner [-exp fig10] [-quick] [-seed 42]
 //
-// With no -exp flag it runs every experiment in figure order and prints the
-// reports; the output of a full run is recorded in EXPERIMENTS.md.
+// With no -exp flag it runs every paper experiment in figure order and
+// prints the reports; the output of a full run is recorded in
+// EXPERIMENTS.md. The experiment list in the help text and error messages
+// is generated from the experiments registry, so it can never drift.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig2a, fig2b, fig2c, fig10..fig19, skew); empty = all paper figures")
+	ids := strings.Join(experiments.IDs(), ", ")
+	exp := flag.String("exp", "", "experiment id ("+ids+"); empty = all paper figures")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Int64("seed", 0, "simulation seed (0 = default)")
 	flag.Parse()
@@ -28,7 +32,7 @@ func main() {
 	if *exp != "" {
 		run, ok := experiments.ByID(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s)\n", *exp, ids)
 			os.Exit(2)
 		}
 		fmt.Print(run(opts).String())

@@ -194,6 +194,10 @@ type Options struct {
 	// SinkShards is the sink's lock-stripe count (wmm.DefaultShards when
 	// 0); the runtime plane's engines hit the sink from many goroutines.
 	SinkShards int
+	// SinkRetain keeps consumed sink entries until request completion
+	// (wmm.Options.RetainInFlight) — the replay source fault-tolerant
+	// deployments trade memory for.
+	SinkRetain bool
 	// Clock defaults to the wall clock.
 	Clock clock.Clock
 }
@@ -208,6 +212,11 @@ type Node struct {
 	NIC *pipe.Limiter
 	// Sink is the node's Wait-Match Memory data sink.
 	Sink *wmm.Sink
+
+	// health is the node's position in the Up/Draining/Down state machine
+	// (health.go); an atomic because the engines consult it on routing hot
+	// paths. The zero value is Up.
+	health atomic.Int32
 
 	mu         sync.Mutex
 	containers map[string][]*Container // fn -> containers
@@ -240,7 +249,7 @@ func NewNode(name string, opts Options) *Node {
 		clk:        clk,
 		opts:       opts,
 		NIC:        nic,
-		Sink:       wmm.NewSink(wmm.Options{TTL: opts.SinkTTL, Shards: opts.SinkShards}),
+		Sink:       wmm.NewSink(wmm.Options{TTL: opts.SinkTTL, Shards: opts.SinkShards, RetainInFlight: opts.SinkRetain}),
 		containers: make(map[string][]*Container),
 		idle:       make(map[string][]*Container),
 		memInt:     metrics.NewIntegral(),
@@ -455,9 +464,13 @@ type Cluster struct {
 	// snap is the atomically published routing snapshot; pubMu orders
 	// version assignment and the store so concurrent publishers can never
 	// leave a lower-versioned snapshot current (readers stay lock-free).
+	// desired is the last snapshot handed to Publish before health
+	// filtering — what the policy/scaler wants — so a node recovery can
+	// republish the full replica sets without re-running placement.
 	snap        atomic.Pointer[RoutingSnapshot]
 	pubMu       sync.Mutex
-	snapVersion uint64 // guarded by pubMu
+	snapVersion uint64           // guarded by pubMu
+	desired     *RoutingSnapshot // guarded by pubMu
 }
 
 // NewCluster returns a cluster using the given placement policy
@@ -533,17 +546,40 @@ func (c *Cluster) Place(functions []string) *RoutingSnapshot {
 }
 
 // Publish stamps the snapshot with the next version and atomically makes
-// it the cluster's current routing state. The caller hands over ownership:
-// the snapshot must not be mutated after Publish. Publications are
-// serialized so the current snapshot's version is monotonic even under
-// concurrent publishers.
+// it the cluster's current routing state, with replicas on non-Up nodes
+// excluded (dead replicas are filtered at publish time, not at every read).
+// The caller hands over ownership: the snapshot must not be mutated after
+// Publish. The unfiltered snapshot is remembered as the desired state so a
+// later health transition (FailNode/DrainNode/RecoverNode) can republish
+// it under the new health filter. Publications are serialized so the
+// current snapshot's version is monotonic even under concurrent publishers.
 func (c *Cluster) Publish(s *RoutingSnapshot) *RoutingSnapshot {
 	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
+	c.desired = s
+	return c.publishFilteredLocked()
+}
+
+// republish re-applies the health filter to the desired snapshot and makes
+// the result current — the snapshot-level reaction to a health transition.
+// No-op before the first Publish.
+func (c *Cluster) republish() {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
+	if c.desired == nil {
+		return
+	}
+	c.publishFilteredLocked()
+}
+
+// publishFilteredLocked stamps and stores the health-filtered view of the
+// desired snapshot. Caller holds pubMu.
+func (c *Cluster) publishFilteredLocked() *RoutingSnapshot {
+	cur := c.healthFilter(c.desired)
 	c.snapVersion++
-	s.Version = c.snapVersion
-	c.snap.Store(s)
-	c.pubMu.Unlock()
-	return s
+	cur.Version = c.snapVersion
+	c.snap.Store(cur)
+	return cur
 }
 
 // Snapshot returns the most recently published routing snapshot (nil

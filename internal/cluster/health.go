@@ -1,0 +1,148 @@
+package cluster
+
+import "fmt"
+
+// This file is the cluster's fault-tolerance surface: a per-node health
+// state machine (Up / Draining / Down) and the cluster-level transitions
+// that drive it. Health feeds the routing plane two ways: the engines check
+// it before pinning a request to a replica (and on every touch of an
+// existing pin), and Publish excludes unhealthy replicas from the snapshot
+// it makes current — so a dead node disappears from new placements the
+// moment its failure is recorded, while the policy/scaler-built "desired"
+// snapshot is kept so a recovery can restore the full replica sets without
+// re-running placement.
+
+// NodeHealth is a node's position in the health state machine.
+type NodeHealth int32
+
+// Health states. Up serves everything; Draining finishes in-flight work but
+// accepts no new request pins; Down is dead — its containers and Wait-Match
+// Memory contents are gone, and in-flight requests pinned to it must be
+// repaired and replayed by the engine.
+const (
+	Up NodeHealth = iota
+	Draining
+	Down
+)
+
+// String names the health state.
+func (h NodeHealth) String() string {
+	switch h {
+	case Up:
+		return "up"
+	case Draining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// Health returns the node's current health state.
+func (n *Node) Health() NodeHealth { return NodeHealth(n.health.Load()) }
+
+// setHealth records a health transition.
+func (n *Node) setHealth(h NodeHealth) { n.health.Store(int32(h)) }
+
+// Routable reports whether new request pins may select this node (Up only:
+// a draining node finishes what it has; a down node has nothing).
+func (n *Node) Routable() bool { return n.Health() == Up }
+
+// FailNode marks the node Down and wipes its Wait-Match Memory — the data
+// loss of a real node death. The current routing snapshot is republished
+// with the dead node's replicas excluded, so placements made after the
+// failure never route to it. Requests already pinned to the node are the
+// engine's problem: it detects the dead pin at the next ship/land/consume
+// and repairs + replays (see core's fault-tolerance plane).
+func (c *Cluster) FailNode(name string) error {
+	n, ok := c.Node(name)
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	n.setHealth(Down)
+	n.Sink.Clear(n.Elapsed())
+	c.republish()
+	return nil
+}
+
+// DrainNode marks the node Draining: its replicas leave the published
+// snapshot (no new pins), but the node stays alive so in-flight requests
+// pinned to it complete normally and its sink keeps its data.
+func (c *Cluster) DrainNode(name string) error {
+	n, ok := c.Node(name)
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	n.setHealth(Draining)
+	c.republish()
+	return nil
+}
+
+// RecoverNode returns a failed or draining node to Up and republishes the
+// desired snapshot, restoring any replicas the health filter had excluded.
+// A node recovering from Down comes back empty: its sink is cleared again
+// here, because a shipment that raced FailNode's wipe (health checked just
+// before the transition) may have landed afterwards — the request repaired
+// away from this node, so its teardown sweep no longer covers it, and the
+// stray would otherwise outlive both the request and the outage. Draining
+// nodes keep their data (they never lost any).
+func (c *Cluster) RecoverNode(name string) error {
+	n, ok := c.Node(name)
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	if n.Health() == Down {
+		n.Sink.Clear(n.Elapsed())
+	}
+	n.setHealth(Up)
+	c.republish()
+	return nil
+}
+
+// NodeHealth returns the named node's health state.
+func (c *Cluster) NodeHealth(name string) (NodeHealth, bool) {
+	n, ok := c.Node(name)
+	if !ok {
+		return Up, false
+	}
+	return n.Health(), true
+}
+
+// healthFilter derives the publishable view of a desired snapshot: every
+// replica hosted on a non-Up node is excluded. A function whose whole
+// replica set is unhealthy keeps it unfiltered — dropping the function
+// entirely would make it silently unroutable, while keeping the set lets
+// health-aware callers pick the least-bad option (and the engine's own
+// fallback find a live node). Replica slices are reused when unchanged
+// (snapshots are read-only, so sharing is safe).
+func (c *Cluster) healthFilter(desired *RoutingSnapshot) *RoutingSnapshot {
+	if desired == nil {
+		return nil
+	}
+	sets := make(map[string][]Replica, len(desired.sets))
+	for fn, reps := range desired.sets {
+		healthy := reps
+		for i, r := range reps {
+			// Unknown nodes pass through: placement validation elsewhere
+			// owns that error, and health must not mask it.
+			n, ok := c.Node(r.Node)
+			if !ok || n.Routable() {
+				continue
+			}
+			// First unhealthy replica: switch to a filtered copy.
+			filtered := make([]Replica, 0, len(reps)-1)
+			filtered = append(filtered, reps[:i]...)
+			for _, r2 := range reps[i+1:] {
+				if n2, ok2 := c.Node(r2.Node); !ok2 || n2.Routable() {
+					filtered = append(filtered, r2)
+				}
+			}
+			healthy = filtered
+			break
+		}
+		if len(healthy) == 0 {
+			healthy = reps
+		}
+		sets[fn] = healthy
+	}
+	return &RoutingSnapshot{sets: sets}
+}

@@ -93,6 +93,14 @@ type Config struct {
 	// disables it, which (with a single-replica placement) preserves the
 	// pre-elastic one-node-per-function behavior exactly.
 	Elastic Elastic
+	// FaultTolerant enables the fault-tolerance plane (failover.go): replica
+	// selection skips non-Up nodes, a dead pinned replica is detected at
+	// ship/land/consume and repaired onto a survivor, and the data the dead
+	// node's Wait-Match Memory lost is deterministically replayed there.
+	// Requires per-request route pins, so it disables the static
+	// single-owner fast path; when false the engine is byte-for-byte the
+	// fault-oblivious one (health states are simply never consulted).
+	FaultTolerant bool
 }
 
 // Elastic configures the background replica scaler: it periodically reads
@@ -162,6 +170,16 @@ type System struct {
 
 	// elastic is the resolved scaler configuration (Interval 0 = disabled).
 	elastic Elastic
+
+	// ft mirrors Config.FaultTolerant; replays counts replayed shipments
+	// (lost to node deaths, re-landed on the repaired replica).
+	ft      bool
+	replays atomic.Int64
+
+	// sinkRetain is true when any node's sink retains consumed entries for
+	// replay: a Get then frees nothing, so teardown's zero-residue shortcut
+	// is invalid and every request must run the ReleaseRequest sweep.
+	sinkRetain bool
 
 	// routedNodes are the unique nodes hosting at least one function — on
 	// the static path, the only sinks a request can leave residue in, and
@@ -319,13 +337,19 @@ func NewSystem(cfg Config) (*System, error) {
 			s.allNodes = append(s.allNodes, n)
 			s.nodeNames = append(s.nodeNames, name)
 			s.nodeLoad[n] = new(atomic.Int64)
+			if n.Sink.Retains() {
+				s.sinkRetain = true
+			}
 		}
 	}
 	s.elastic = cfg.Elastic
 	if s.elastic.Interval > 0 {
 		s.elastic = s.elastic.withDefaults(len(s.allNodes))
 	}
-	s.static = s.elastic.Interval <= 0
+	s.ft = cfg.FaultTolerant
+	// Fault tolerance needs per-request pins (a repair rewrites them), so it
+	// rules out the static fast path even with the scaler off.
+	s.static = s.elastic.Interval <= 0 && !s.ft
 	seen := make(map[*cluster.Node]bool)
 	for _, fn := range fns {
 		reps := snap.Replicas(fn)
@@ -474,9 +498,16 @@ type routePin struct {
 
 // selectReplica picks fn's replica for a new pin: prefer, when it hosts a
 // replica (locality-first — the producer's output skips the network ship),
-// else the replica whose node has the fewest in-flight instances.
+// else the replica whose node has the fewest in-flight instances. Under the
+// fault-tolerance plane only Up nodes are pinnable (a draining node takes
+// no new pins, a dead one nothing), with a fallback to any Up cluster node
+// when the whole replica set is unhealthy — the synchronous counterpart of
+// the scaler's backfill.
 func (s *System) selectReplica(st *fnState, prefer *cluster.Node) (*cluster.Node, int) {
 	reps := st.replicaList()
+	if s.ft {
+		return s.selectHealthyReplica(st, reps, prefer)
+	}
 	if len(reps) == 1 {
 		return reps[0], 0
 	}
@@ -508,6 +539,13 @@ func (s *System) routeFor(inv *Invocation, st *fnState, prefer *cluster.Node) (*
 	inv.mu.Lock()
 	for i := range inv.route {
 		if inv.route[i].fn == st.name {
+			if s.ft && inv.route[i].node.Health() == cluster.Down {
+				// The pinned replica died: repair every dead pin of this
+				// request and replay the data its sink lost, then re-read
+				// the (now healthy) pin. repairLocked updates pins in
+				// place, so index i still addresses this function.
+				s.repairLocked(inv)
+			}
 			n, o := inv.route[i].node, inv.route[i].ordinal
 			inv.mu.Unlock()
 			return n, o
@@ -557,6 +595,10 @@ type Invocation struct {
 	// fast path needs none). A request touches a handful of functions, so a
 	// scanned slice beats a map, like arrived. Accessed under mu.
 	route []routePin
+
+	// replays counts this request's shipments re-landed after node deaths
+	// (fault-tolerant mode only). Accessed under mu.
+	replays int
 
 	// sinkResidue counts sink entries this request may still own: +1 per
 	// landed Put, -1 per consuming Get that found its entry. A clean
@@ -635,7 +677,7 @@ func (inv *Invocation) finishLocked() {
 	// invocation bookkeeping, so a long-running system does not grow with
 	// request count.
 	inv.sys.invs.delete(inv.ReqID)
-	if inv.err == nil {
+	if inv.err == nil && !inv.sys.sinkRetain {
 		// Clean completion: the only entries a balanced request leaves
 		// behind are its broadcast items, and we know their exact keys from
 		// the arrived log — consume them directly (one stripe lock each)
@@ -644,6 +686,9 @@ func (inv *Invocation) finishLocked() {
 		// re-put superseded a copy), fall through to the full sweep. A
 		// shipment still in flight self-sweeps when it lands and finds the
 		// request untracked, so skipping the sweep cannot strand it.
+		// (Retaining sinks skip this shortcut entirely: retained entries
+		// outlive their consuming Gets by design, so only the sweep below
+		// reclaims them.)
 		for i := range inv.arrived {
 			b := &inv.arrived[i]
 			if b.key.Idx != dataflow.BroadcastIdx {
@@ -858,6 +903,12 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 		for _, ai := range shared {
 			ai.node.Sink.Peek(at, ai.key)
 		}
+	}
+	if s.ft {
+		// The instance now holds its inputs: a later death of the node they
+		// were cached on no longer needs them replayed (broadcast buckets
+		// are shared and stay replayable until request completion).
+		inv.markConsumed(key)
 	}
 	inv.mu.Unlock()
 

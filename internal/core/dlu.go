@@ -330,6 +330,11 @@ func streamIDOf(reqID string, it dataflow.Item) string {
 // land caches the item in the destination node's sink, advances the
 // tracker and schedules newly ready instances.
 func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node) {
+	if s.ft && dstNode.Health() == cluster.Down {
+		// The destination died while the shipment was in flight: repair the
+		// request's pins and land on the survivor instead.
+		dstNode, it.Replica = s.relandTarget(inv, it.To.Fn)
+	}
 	key := sinkKey(inv.ReqID, it)
 	dstNode.Sink.Put(dstNode.Elapsed(), key, it.Value, 1)
 	inv.sinkResidue.Add(1)
@@ -359,10 +364,15 @@ type arrivedItem struct {
 	node *cluster.Node
 }
 
-// arrivedBucket collects the arrived items of one instance key.
+// arrivedBucket collects the arrived items of one instance key. consumed is
+// set once the instance has fetched its inputs (fault-tolerant mode only):
+// from then on a death of the caching node loses nothing the instance still
+// needs, so repair skips the bucket. Broadcast buckets are shared by all
+// instances and are never marked consumed.
 type arrivedBucket struct {
-	key   dataflow.InstanceKey
-	items []arrivedItem
+	key      dataflow.InstanceKey
+	items    []arrivedItem
+	consumed bool
 }
 
 // arrivedFor returns the arrived items recorded under key. Caller holds

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/trace"
+)
+
+// This file is the runtime plane's fault-tolerance plane (Config.
+// FaultTolerant). The recovery model follows the paper's data-flow
+// argument: because every instance's inputs are retained in a Wait-Match
+// Memory until consumed (and, with wmm.Options.RetainInFlight, until the
+// request completes), losing a node loses only (a) the data cached in that
+// node's sink and (b) the instances pinned there — never the request's
+// history. Recovery is therefore replay, not checkpointing:
+//
+//  1. detect — every touch of a route pin (ship's routeFor, land's
+//     destination check, the consume path's routeFor) notices a pin whose
+//     node went Down;
+//  2. repair — the request's dead pins are rewritten to surviving replicas
+//     (locality and load rules unchanged, restricted to Up nodes, with a
+//     whole-cluster fallback when a function's entire replica set died);
+//  3. replay — exactly the shipments whose landed copies were lost (the
+//     un-consumed arrived items recorded on the dead node) are re-executed
+//     against the repaired replica. Handlers are deterministic, so the
+//     producer's re-execution would reproduce byte-identical outputs; the
+//     engine exploits that determinism by re-shipping the retained copies
+//     of those outputs instead of burning the producer's FLU time again,
+//     which is also why only the lost functions' outputs — not their whole
+//     upstream cone — are replayed.
+//
+// Detection is best-effort per touch: a node that dies between a health
+// check and the following sink access simply yields a sink miss (the entry
+// is gone either way), and the next touch of the pin repairs it. The
+// request's tracker state is engine-local and never lost, so replay can
+// only run ahead of, never behind, the data-availability bookkeeping.
+
+// repairLocked rewrites every dead pin of the request onto a surviving
+// replica and replays the lost data there. Caller holds inv.mu. Pins are
+// updated in place so callers iterating inv.route by index stay valid.
+func (s *System) repairLocked(inv *Invocation) {
+	for i := range inv.route {
+		dead := inv.route[i].node
+		if dead.Health() != cluster.Down {
+			continue
+		}
+		st := s.fns[inv.route[i].fn]
+		next, ordinal := s.selectReplica(st, nil)
+		if next == dead {
+			// Nothing healthier exists (whole cluster down); leave the pin.
+			continue
+		}
+		inv.route[i].node = next
+		inv.route[i].ordinal = ordinal
+		n := s.replayLocked(inv, st.name, dead, next, ordinal)
+		inv.replays += n
+		s.replays.Add(int64(n))
+		s.traceEvent(trace.Replay, inv.ReqID, st.name, n, dead.Name+"->"+next.Name)
+	}
+}
+
+// replayLocked re-lands the request's lost items for fn — those recorded on
+// dead and not yet consumed by their instance — on the repaired node,
+// returning how many shipments were replayed. The arrived records are
+// updated in place (key, node, replica ordinal) so the consume path and
+// teardown address the survivor's sink. Caller holds inv.mu.
+func (s *System) replayLocked(inv *Invocation, fn string, dead, next *cluster.Node, ordinal int) int {
+	replayed := 0
+	at := next.Elapsed()
+	for b := range inv.arrived {
+		bucket := &inv.arrived[b]
+		if bucket.key.Fn != fn || bucket.consumed {
+			continue
+		}
+		for j := range bucket.items {
+			ai := &bucket.items[j]
+			if ai.node != dead {
+				continue
+			}
+			ai.item.Replica = ordinal
+			ai.key = sinkKey(inv.ReqID, ai.item)
+			ai.node = next
+			next.Sink.Put(at, ai.key, ai.item.Value, 1)
+			inv.sinkResidue.Add(1)
+			replayed++
+		}
+	}
+	return replayed
+}
+
+// selectHealthyReplica is selectReplica's fault-tolerant arm: locality
+// first among Up replicas, then least-loaded Up replica, then any Up
+// cluster node (ordinals beyond the replica set keep sink keys unique per
+// node), then — with nothing Up at all — the primary, leaving the request
+// to limp until something recovers.
+func (s *System) selectHealthyReplica(st *fnState, reps []*cluster.Node, prefer *cluster.Node) (*cluster.Node, int) {
+	if prefer != nil && prefer.Routable() {
+		for i, n := range reps {
+			if n == prefer {
+				return n, i
+			}
+		}
+	}
+	var best *cluster.Node
+	bi := 0
+	var bl int64
+	for i, n := range reps {
+		if !n.Routable() {
+			continue
+		}
+		l := s.nodeLoad[n].Load()
+		if best == nil || l < bl {
+			best, bi, bl = n, i, l
+		}
+	}
+	if best != nil {
+		return best, bi
+	}
+	// Whole replica set unhealthy: backfill from the cluster at large.
+	for i, n := range s.allNodes {
+		if !n.Routable() {
+			continue
+		}
+		l := s.nodeLoad[n].Load()
+		if best == nil || l < bl {
+			best, bi, bl = n, len(reps)+i, l
+		}
+	}
+	if best != nil {
+		return best, bi
+	}
+	return reps[0], 0
+}
+
+// relandTarget resolves where an in-flight shipment for fn must land after
+// its destination died: repair the request's pins, then return fn's (now
+// healthy) pin. A missing pin can only mean the request never pinned fn on
+// this path (defensive); it is pinned fresh.
+func (s *System) relandTarget(inv *Invocation, fn string) (*cluster.Node, int) {
+	st := s.fns[fn]
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	s.repairLocked(inv)
+	for i := range inv.route {
+		if inv.route[i].fn == fn {
+			return inv.route[i].node, inv.route[i].ordinal
+		}
+	}
+	n, o := s.selectReplica(st, nil)
+	inv.route = append(inv.route, routePin{fn: fn, node: n, ordinal: o})
+	return n, o
+}
+
+// markConsumed flags the instance's arrived bucket as consumed. Caller
+// holds inv.mu.
+func (inv *Invocation) markConsumed(key dataflow.InstanceKey) {
+	for i := range inv.arrived {
+		if inv.arrived[i].key == key {
+			inv.arrived[i].consumed = true
+			return
+		}
+	}
+}
+
+// Replays returns how many lost shipments the system has replayed onto
+// repaired replicas since start.
+func (s *System) Replays() int64 { return s.replays.Load() }
+
+// Replays returns how many of this request's shipments were replayed after
+// node deaths. Valid any time; settles once Done is closed.
+func (inv *Invocation) Replays() int {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.replays
+}
+
+// PinnedNode returns the node name fn is currently pinned to for this
+// request, if pinned yet.
+func (inv *Invocation) PinnedNode(fn string) (string, bool) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	for i := range inv.route {
+		if inv.route[i].fn == fn {
+			return inv.route[i].node.Name, true
+		}
+	}
+	return "", false
+}
+
+// PinnedNodes returns the node names this request's route pins currently
+// address, in pin order (empty on the static path, which has no pins).
+func (inv *Invocation) PinnedNodes() []string {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	out := make([]string, len(inv.route))
+	for i := range inv.route {
+		out[i] = inv.route[i].node.Name
+	}
+	return out
+}

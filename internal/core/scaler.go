@@ -59,6 +59,9 @@ func (s *System) scaleTick(idleTicks map[string]int) {
 	}
 	changed := false
 	for _, st := range s.fnList {
+		if s.ft && s.pruneDeadReplicas(st) {
+			changed = true
+		}
 		reps := st.replicaList()
 		k := len(reps)
 		pending := st.pending.Load()
@@ -119,10 +122,15 @@ func (s *System) wantScaleUp(st *fnState, pending int64, k int) bool {
 
 // pickNewReplica returns the least-loaded node not already in the replica
 // set (registration order breaks ties), or nil when every node hosts one.
+// Under the fault-tolerance plane, non-Up nodes have zero capacity and are
+// never picked.
 func (s *System) pickNewReplica(reps []*cluster.Node) *cluster.Node {
 	var best *cluster.Node
 	var bestLoad int64
 	for _, n := range s.allNodes {
+		if s.ft && !n.Routable() {
+			continue
+		}
 		member := false
 		for _, r := range reps {
 			if r == n {
@@ -139,6 +147,43 @@ func (s *System) pickNewReplica(reps []*cluster.Node) *cluster.Node {
 		}
 	}
 	return best
+}
+
+// pruneDeadReplicas removes Down nodes from the function's replica set and
+// backfills from the healthy remainder of the cluster when the set would
+// empty — the scaler's half of failover: failed nodes are zero-capacity,
+// and lost replicas are replaced so the set's breadth survives the death.
+// Returns whether the set changed. In-flight pins are per-request state and
+// unaffected (their repair happens on the request's own path).
+func (s *System) pruneDeadReplicas(st *fnState) bool {
+	reps := st.replicaList()
+	dead := 0
+	for _, n := range reps {
+		if n.Health() == cluster.Down {
+			dead++
+		}
+	}
+	if dead == 0 {
+		return false
+	}
+	next := make([]*cluster.Node, 0, len(reps))
+	for _, n := range reps {
+		if n.Health() != cluster.Down {
+			next = append(next, n)
+		}
+	}
+	if add := s.pickNewReplica(next); add != nil {
+		// Backfill one replacement per tick (same one-step cadence as the
+		// load heuristics); the next tick backfills further if demand holds.
+		next = append(next, add)
+	}
+	if len(next) == 0 {
+		// Whole cluster unroutable: keep the dead set rather than leaving
+		// the function with no replicas at all.
+		return false
+	}
+	st.replicas.Store(&next)
+	return true
 }
 
 // publishSnapshot rebuilds the routing snapshot from the live replica sets
@@ -173,6 +218,9 @@ func (s *System) applySnapshot(snap *cluster.RoutingSnapshot) {
 		for _, r := range reps {
 			if n, ok := s.cfg.Cluster.Node(r.Node); ok {
 				if _, known := s.nodeLoad[n]; known {
+					if s.ft && n.Health() == cluster.Down {
+						continue // dead nodes are zero-capacity
+					}
 					nodes = append(nodes, n)
 				}
 			}

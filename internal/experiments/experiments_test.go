@@ -269,3 +269,38 @@ func TestByIDAndAll(t *testing.T) {
 		}
 	}
 }
+
+func TestIDsCoverRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("IDs() = %d entries, want 15", len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("IDs lists %q but ByID cannot resolve it", id)
+		}
+	}
+	// The extras must be addressable even though All skips them.
+	for _, extra := range []string{"skew", "faults"} {
+		if _, ok := ByID(extra); !ok {
+			t.Fatalf("extra experiment %q missing from registry", extra)
+		}
+	}
+}
+
+func TestFaultsReportsRecoveryForAllBenchmarks(t *testing.T) {
+	rep := Faults(quick)
+	rows := rep.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("faults rows = %d, want the 4 paper workflows", len(rows))
+	}
+	for _, row := range rows {
+		issued, completed := parseF(t, row[1]), parseF(t, row[2])
+		if completed < issued*0.95 {
+			t.Errorf("%s: availability %v/%v below 95%%", row[0], completed, issued)
+		}
+		if recovered := parseF(t, row[4]); recovered == 0 {
+			t.Errorf("%s: no recovered requests reported", row[0])
+		}
+	}
+}

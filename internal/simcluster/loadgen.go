@@ -196,6 +196,9 @@ func (s *Sim) result(horizon time.Duration) *Result {
 		Trace:       s.log,
 		Containers:  s.containers,
 	}
+	res.Recovered = s.recoveries
+	res.RecoveryLat = s.recoveryLat
+	res.Replays = s.replays
 	if horizon > 0 {
 		res.ThroughputRPM = float64(s.completed) / horizon.Minutes()
 	}

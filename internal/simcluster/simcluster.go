@@ -111,6 +111,13 @@ type Config struct {
 	// the paper's figures).
 	RequestTimeout time.Duration
 
+	// Faults schedules node kill/recover/drain events at virtual times
+	// (faults.go). Supported for the DataFlower kinds (the control-flow
+	// baselines have no failover story to model). An empty schedule leaves
+	// every code path — and therefore every experiment's output —
+	// bit-for-bit identical to the fault-free engine.
+	Faults []FaultEvent
+
 	// Seed drives arrivals and any tie-breaking randomness.
 	Seed int64
 	// CollectTrace enables the event log (needed by Fig. 2(c)/13).
@@ -230,6 +237,13 @@ type Result struct {
 	Trace *trace.Log
 	// Containers is the total number of containers started.
 	Containers int64
+	// Recovered counts requests that were in flight across a node kill and
+	// still completed; RecoveryLat samples their kill-to-completion
+	// latency; Replays counts the shipments re-executed onto surviving
+	// replicas. All zero when Config.Faults is empty.
+	Recovered   int64
+	RecoveryLat *metrics.Sample
+	Replays     int64
 	// OverlapSec is the total per-container time during which a container's
 	// FLU was computing while its own network transfers were in flight —
 	// the computation/communication overlap of §3.2.2 (zero by construction
@@ -248,7 +262,15 @@ type node struct {
 	disk *simnet.Endpoint
 	sink *wmm.Sink // DataFlower Wait-Match Memory / FaaSFlow local cache
 	fns  map[string]*fnState
+
+	// Health (faults.go): down nodes lost their containers and sink
+	// contents; draining nodes take no new request pins.
+	down     bool
+	draining bool
 }
+
+// routable reports whether new request pins may select the node.
+func (n *node) routable() bool { return !n.down && !n.draining }
 
 // fnState is the per-function scheduling state on one of its replica
 // nodes (one fnState per function-replica pair).
@@ -278,6 +300,7 @@ type container struct {
 	ep      *simnet.Endpoint
 	dluQ    *sim.Queue // DataFlower: queued DLU shipments
 	dluBusy bool       // DLU daemon is mid-transfer
+	dead    bool       // its node was killed (faults.go)
 	born    time.Duration
 	// cpuT and netT are this container's own busy timelines; their overlap
 	// is the §3.2.2/Fig. 2(b) metric (sequential vs overlapped phases).
@@ -302,6 +325,14 @@ type request struct {
 	// pin records the replica chosen per function for this request
 	// (allocated lazily; single-replica functions never touch it).
 	pin map[string]*node
+	// landed logs every item cached in a node's sink with its key and
+	// consumption state — what a node kill must replay (faults.go).
+	// Maintained only when faults are scheduled.
+	landed []landRec
+	// recovering marks the request as touched by a node kill;
+	// recoverStart is the (first) kill's virtual time.
+	recovering   bool
+	recoverStart time.Duration
 	// control-flow bookkeeping: remaining instances per function.
 	remaining   map[string]int
 	finished    map[string]bool
@@ -342,6 +373,14 @@ type Sim struct {
 	completions []time.Duration
 	reqSeq      int64
 	containers  int64
+
+	// Fault plane (faults.go). faulty gates every fault-only code path so a
+	// fault-free run is bit-for-bit the classic engine.
+	faulty      bool
+	inflight    map[*request]struct{}
+	recoveries  int64
+	replays     int64
+	recoveryLat *metrics.Sample
 }
 
 type avgTracker struct {
@@ -456,6 +495,7 @@ func New(cfg Config) *Sim {
 		s.fluAvg[fn] = &avgTracker{}
 		s.fnStats[fn] = &FnStat{}
 	}
+	s.armFaults()
 	return s
 }
 
@@ -467,6 +507,9 @@ func New(cfg Config) *Sim {
 // short-circuit with no per-request state, preserving the classic
 // semantics bit-for-bit.
 func (s *Sim) replicaFor(req *request, fn string, prefer *node) *node {
+	if s.faulty {
+		return s.replicaForFaulty(req, fn, prefer)
+	}
 	reps := s.replicas[fn]
 	if len(reps) == 1 {
 		return reps[0]
@@ -540,37 +583,100 @@ func (s *Sim) dispatcher(p *sim.Proc, fs *fnState) {
 			return
 		}
 		w := wi.(*work)
-		var c *container
-		if ci, ok := fs.idleQ.TryGet(); ok {
-			c = ci.(*container)
-		} else if fs.atFnCap(s.cfg.MaxContainersPerFn) {
-			ci, ok := p.Get(fs.idleQ)
-			if !ok {
-				return
-			}
-			c = ci.(*container)
-		} else if fs.workQ.Len()+1 > fs.started {
-			// Concurrency-based scale-out: more invocations in flight than
-			// containers. This is the standard serverless reaction to FLU
-			// (compute) demand; DLU (transfer) demand is invisible to it.
-			c = s.coldStart(p, fs)
-		} else {
-			ci, got, timedOut := p.GetTimeout(fs.idleQ, scaleOutDelay)
-			switch {
-			case got:
-				c = ci.(*container)
-			case timedOut:
-				c = s.coldStart(p, fs)
-			default:
-				return // queue closed
-			}
+		c, ok := s.acquire(p, fs, w)
+		if !ok {
+			return // queue closed
+		}
+		if c == nil {
+			continue // fault plane rerouted w off this dead replica
 		}
 		wi2, ci2 := w, c
 		s.env.Go("exec-"+fs.fn, func(ep *sim.Proc) {
 			s.execute(ep, ci2, wi2)
-			fs.idleQ.TryPut(ci2)
+			if !ci2.dead {
+				fs.idleQ.TryPut(ci2)
+			}
 		})
 	}
+}
+
+// acquire obtains a container for w on fs's replica: idle reuse first, then
+// the scale-out policy (cold start when concurrency demands it, else wait
+// scaleOutDelay for a warm one). ok is false on queue close. Under the
+// fault plane a dead replica's work is rerouted (nil container, ok true)
+// and corpse containers left by a kill are discarded; without faults the
+// control flow is exactly the classic dispatcher's.
+func (s *Sim) acquire(p *sim.Proc, fs *fnState, w *work) (*container, bool) {
+	for {
+		if ci, ok := fs.idleQ.TryGet(); ok {
+			c := ci.(*container)
+			if s.faulty && c.dead {
+				continue
+			}
+			return c, true
+		}
+		if s.faulty && fs.node.down {
+			if tgt := s.failoverState(w, fs); tgt != nil {
+				tgt.workQ.TryPut(w)
+				return nil, true
+			}
+			// Whole cluster unroutable: fall through and run here so the
+			// request still progresses.
+		}
+		if fs.atFnCap(s.cfg.MaxContainersPerFn) {
+			if !s.faulty {
+				ci, ok := p.Get(fs.idleQ)
+				if !ok {
+					return nil, false
+				}
+				return ci.(*container), true
+			}
+			// Wake periodically so a kill cannot strand this work item on a
+			// dead replica's idle queue forever.
+			ci, got, timedOut := p.GetTimeout(fs.idleQ, scaleOutDelay)
+			switch {
+			case got:
+				if c := ci.(*container); !c.dead {
+					return c, true
+				}
+			case timedOut:
+			default:
+				return nil, false
+			}
+			continue
+		}
+		if fs.workQ.Len()+1 > fs.started {
+			// Concurrency-based scale-out: more invocations in flight than
+			// containers. This is the standard serverless reaction to FLU
+			// (compute) demand; DLU (transfer) demand is invisible to it.
+			return s.coldStart(p, fs), true
+		}
+		ci, got, timedOut := p.GetTimeout(fs.idleQ, scaleOutDelay)
+		switch {
+		case got:
+			c := ci.(*container)
+			if s.faulty && c.dead {
+				continue
+			}
+			return c, true
+		case timedOut:
+			return s.coldStart(p, fs), true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// failoverState resolves a healthy replica to send a dead node's work item
+// to, or nil when none exists (pin already cleared by the kill; replicaFor
+// re-pins among routable nodes).
+func (s *Sim) failoverState(w *work, from *fnState) *fnState {
+	delete(w.req.pin, w.key.Fn)
+	n := s.replicaFor(w.req, w.key.Fn, nil)
+	if n == from.node {
+		return nil
+	}
+	return n.fns[w.key.Fn]
 }
 
 // coldStart creates a container (charging the cold-start delay to the
@@ -604,6 +710,9 @@ func (s *Sim) coldStart(p *sim.Proc, fs *fnState) *container {
 func (s *Sim) prewarm(fs *fnState) {
 	if fs.atFnCap(s.cfg.MaxContainersPerFn) {
 		return
+	}
+	if s.faulty && fs.node.down {
+		return // dead nodes have zero capacity
 	}
 	s.prewarms++
 	fs.started++
@@ -695,6 +804,13 @@ func (s *Sim) complete(req *request) {
 	for _, n := range s.nodes {
 		n.sink.ReleaseRequest(s.env.Now(), req.id)
 	}
+	if s.faulty {
+		delete(s.inflight, req)
+		if req.recovering {
+			s.recoveries++
+			s.recoveryLat.AddDuration(s.env.Now() - req.recoverStart)
+		}
+	}
 }
 
 // fail finalizes a request as failed (timeout).
@@ -707,6 +823,9 @@ func (s *Sim) fail(req *request) {
 	req.done.Trigger(fmt.Errorf("request %s timed out", req.id))
 	for _, n := range s.nodes {
 		n.sink.ReleaseRequest(s.env.Now(), req.id)
+	}
+	if s.faulty {
+		delete(s.inflight, req)
 	}
 }
 

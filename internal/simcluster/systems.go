@@ -16,6 +16,9 @@ import (
 // function's node and the entry instances are triggered.
 func (s *Sim) invoke(p *sim.Proc, prof *workloads.Profile) *request {
 	req := s.newRequest(prof)
+	if s.faulty {
+		s.inflight[req] = struct{}{}
+	}
 	s.traceEvent(trace.ReqArrived, req, "", 0, "")
 	// Watchdog.
 	timeoutReq := req
@@ -54,6 +57,9 @@ func (s *Sim) invoke(p *sim.Proc, prof *workloads.Profile) *request {
 			n := s.routing[f.Name]
 			if pinned, ok := req.pin[f.Name]; ok {
 				n = pinned
+			}
+			if s.faulty && n.down {
+				continue // dead nodes have zero capacity
 			}
 			fs := n.fns[f.Name]
 			if fs.started == 0 {
@@ -144,7 +150,15 @@ func (s *Sim) dfExecute(p *sim.Proc, c *container, w *work) {
 		// Hand the shipment to the DLU daemon first: it pumps asynchronously
 		// while the FLU is (possibly) callstack-blocked below.
 		backlog := c.dluBusy || c.dluQ.Len() > 0
-		c.dluQ.TryPut(&dluShipment{req: req, from: key, items: items})
+		sh := &dluShipment{req: req, from: key, items: items}
+		if c.dead {
+			// The container's node died mid-execution: its DLU daemon is
+			// gone (and its queue closed). The outputs are recovered by
+			// re-executing this producer on a surviving replica.
+			s.env.Go("zombie-ship-"+key.Fn, func(zp *sim.Proc) { s.recoverShipment(zp, sh) })
+			continue
+		}
+		c.dluQ.TryPut(sh)
 		// Pressure-aware scaling (Eq. 1): when the DLU cannot keep up with
 		// the FLU's producing rate, block this FLU for the pressure duration
 		// (it cannot serve subsequent invocations, which throttles the
@@ -190,6 +204,11 @@ func (s *Sim) consumeSinkInputs(p *sim.Proc, req *request, key dataflow.Instance
 				}
 			}
 		}
+	}
+	if s.faulty {
+		// The instance holds its inputs now: a later kill of the caching
+		// node no longer needs them replayed.
+		s.markConsumed(req, key)
 	}
 }
 
@@ -255,6 +274,14 @@ func (s *Sim) dfShip(p *sim.Proc, c *container, req *request, it dataflow.Item) 
 		s.transfer(p, c, it.Value.Size, c.ep, dst.nic)
 	}
 	s.noteComm(it.From.Fn, s.env.Now()-start)
+	if s.faulty && dst.down {
+		// The destination died while this shipment was in flight: repair
+		// the pin and land on the survivor (the kill already cleared pins
+		// to the dead node, so replicaFor re-selects among the living).
+		delete(req.pin, it.To.Fn)
+		dst = s.replicaFor(req, it.To.Fn, nil)
+		s.replays++
+	}
 	// Land in the destination Wait-Match Memory.
 	toIdx := it.To.Idx
 	if toIdx == dataflow.BroadcastIdx {
@@ -262,6 +289,9 @@ func (s *Sim) dfShip(p *sim.Proc, c *container, req *request, it dataflow.Item) 
 	}
 	key := dfSinkKey(req.id, dataflow.InstanceKey{Fn: it.To.Fn, Idx: toIdx}, it.Input, it.From.Fn, it.From.Idx, it.Output)
 	dst.sink.Put(s.env.Now(), key, it.Value, 1)
+	if s.faulty {
+		s.recordLanded(req, dst, key, it)
+	}
 	s.traceEvent(trace.DataArrived, req, it.To.Fn, it.To.Idx, it.Input)
 	s.dfDeliver(req, it)
 }

@@ -25,6 +25,9 @@ const (
 	DataArrived
 	ContainerCold
 	ReqCompleted
+	// Replay marks a fault-tolerance recovery action: a request's route pin
+	// was repaired off a dead node and lost data was re-shipped there.
+	Replay
 )
 
 // String names the kind.
@@ -32,6 +35,7 @@ func (k Kind) String() string {
 	names := [...]string{
 		"req-arrived", "ready", "triggered", "started", "finished",
 		"data-sent", "data-arrived", "container-cold", "req-completed",
+		"replay",
 	}
 	if int(k) < len(names) {
 		return names[k]

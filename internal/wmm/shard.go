@@ -176,10 +176,12 @@ func (s *Sink) expireLocked(sh *shard, at time.Duration) int {
 		s.adjustMem(sh, at, -e.val.Size)
 		sh.stats.Expirations++
 		n++
-		if e.remaining <= 0 {
+		if e.remaining <= 0 && !s.opts.RetainInFlight {
 			// Fully consumed (possible only with DisableProactive): no
 			// consumer will return for it, so spilling would leak the bytes
-			// on disk until request teardown — drop it instead.
+			// on disk until request teardown — drop it instead. Under
+			// RetainInFlight the entry is a replay source and spills so it
+			// survives until the request completes.
 			continue
 		}
 		reqDisk := sh.disk[e.key.ReqID]

@@ -86,6 +86,14 @@ type Options struct {
 	// Shards is the number of lock stripes the key space is hashed across,
 	// rounded up to a power of two (DefaultShards when 0).
 	Shards int
+	// RetainInFlight keeps fully-consumed entries resident (payload intact)
+	// until ReleaseRequest instead of dropping them at the last Get — the
+	// fault-tolerance plane's replay source: while a request is in flight,
+	// every input that already fed an instance can still be re-read to
+	// deterministically re-execute that instance after a downstream node
+	// failure. Retained entries still spill to disk on TTL (never dropped)
+	// and are reclaimed by the request's end-of-life ReleaseRequest.
+	RetainInFlight bool
 }
 
 // Stats are cumulative sink counters.
@@ -96,7 +104,11 @@ type Stats struct {
 	Misses            int64
 	ProactiveReleases int64
 	Expirations       int64
-	PeakMemBytes      int64
+	// Retained counts entries whose last consumer fetched them while
+	// RetainInFlight was set: instead of a proactive release they stayed
+	// resident for replay until request completion.
+	Retained     int64
+	PeakMemBytes int64
 }
 
 // Merge adds other's counters into s, taking the larger peak. It aggregates
@@ -108,6 +120,7 @@ func (s *Stats) Merge(other Stats) {
 	s.Misses += other.Misses
 	s.ProactiveReleases += other.ProactiveReleases
 	s.Expirations += other.Expirations
+	s.Retained += other.Retained
 	if other.PeakMemBytes > s.PeakMemBytes {
 		s.PeakMemBytes = other.PeakMemBytes
 	}
@@ -143,6 +156,12 @@ func NewSink(opts Options) *Sink {
 
 // Shards returns the number of lock stripes.
 func (s *Sink) Shards() int { return len(s.shards) }
+
+// Retains reports whether the sink keeps consumed entries for replay
+// (Options.RetainInFlight) — engines consult it at teardown, because a
+// retained request always needs the end-of-life ReleaseRequest sweep (the
+// residue heuristic that skips it assumes consumption frees entries).
+func (s *Sink) Retains() bool { return s.opts.RetainInFlight }
 
 // Put caches v for key at virtual/wall time at. consumers is the number of
 // destination FLUs that will fetch the datum (>=1); once they all have, the
@@ -211,6 +230,16 @@ func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
 			e.remaining--
 			val := e.val
 			if e.remaining <= 0 && !s.opts.DisableProactive {
+				if s.opts.RetainInFlight {
+					// Replay retention: the entry's consumers are done, but
+					// the request is not — keep the payload resident so a
+					// node failure downstream can re-execute this consumer
+					// from its original inputs. ReleaseRequest reclaims it.
+					if e.remaining == 0 {
+						sh.stats.Retained++
+					}
+					return val, Memory, true
+				}
 				delete(dataMap, key.Data)
 				s.adjustMem(sh, at, -val.Size)
 				sh.stats.ProactiveReleases++
@@ -232,6 +261,12 @@ func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
 			sh.stats.DiskHits++
 			e.remaining--
 			if e.remaining <= 0 && !s.opts.DisableProactive {
+				if s.opts.RetainInFlight {
+					if e.remaining == 0 {
+						sh.stats.Retained++
+					}
+					return e.val, Disk, true
+				}
 				delete(reqDisk, key)
 				if len(reqDisk) == 0 {
 					delete(sh.disk, key.ReqID)
@@ -296,6 +331,33 @@ func (s *Sink) ReleaseRequest(at time.Duration, reqID string) {
 			}
 			delete(sh.disk, reqID)
 		}
+		sh.mu.Unlock()
+	}
+}
+
+// Clear wipes both tiers of the sink — the data loss of a node failure.
+// Counters (Stats) survive as the node's cumulative history; occupancy
+// gauges and integrals record the drop at time at. The sink remains usable
+// afterwards (a recovered node restarts with an empty Wait-Match Memory).
+func (s *Sink) Clear(at time.Duration) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.memBytes != 0 {
+			s.adjustMem(sh, at, -sh.memBytes)
+		}
+		sh.mem = make(map[string]map[string]map[string]*entry)
+		for _, reqDisk := range sh.disk {
+			for _, e := range reqDisk {
+				s.diskBytes.Add(-e.val.Size)
+			}
+		}
+		sh.disk = make(map[string]map[Key]*entry)
+		for j := range sh.ttl {
+			sh.ttl[j] = nil
+		}
+		sh.ttl = sh.ttl[:0]
+		sh.ttlStale = 0
 		sh.mu.Unlock()
 	}
 }
