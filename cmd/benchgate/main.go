@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	benchgate -parse bench.txt -out BENCH_PR4.json
-//	benchgate -compare -baseline BENCH_PR4.json -current fresh.json [-max-drop 0.25]
+//	benchgate -parse bench.txt -out summary.json
+//	benchgate -compare -current fresh.json [-baseline BENCH_PR4.json] [-max-drop 0.25]
+//
+// -baseline defaults to the repository's committed baseline
+// (DefaultBaseline); CI passes it explicitly, so re-baselining a future PR
+// is a workflow-file change, not a benchgate source edit.
 //
 // Parsing keeps the best (lowest ns/op) run per benchmark across -count
 // repetitions, so the gate measures capability, not scheduler noise. Exit
@@ -38,11 +42,15 @@ type Bench struct {
 
 const schema = "benchgate/v1"
 
+// DefaultBaseline is the committed baseline the gate compares against when
+// -baseline is not given.
+const DefaultBaseline = "BENCH_PR4.json"
+
 func main() {
 	parse := flag.String("parse", "", "go test -bench output file to parse")
 	out := flag.String("out", "", "JSON summary to write (with -parse)")
 	compare := flag.Bool("compare", false, "compare -current against -baseline")
-	baseline := flag.String("baseline", "", "committed baseline JSON")
+	baseline := flag.String("baseline", DefaultBaseline, "committed baseline JSON")
 	current := flag.String("current", "", "freshly measured JSON")
 	maxDrop := flag.Float64("max-drop", 0.25, "max tolerated throughput drop (fraction)")
 	flag.Parse()

@@ -102,3 +102,16 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatal("schema mismatch accepted")
 	}
 }
+
+func TestDefaultBaselineMatchesCommittedFile(t *testing.T) {
+	// The -baseline flag default must point at the repository's committed
+	// baseline so a bare `benchgate -compare -current x.json` gates against
+	// it; CI still passes -baseline explicitly, so re-baselining is a
+	// workflow edit, not a source edit.
+	if DefaultBaseline != "BENCH_PR4.json" {
+		t.Fatalf("DefaultBaseline = %q", DefaultBaseline)
+	}
+	if _, err := os.Stat(filepath.Join("..", "..", DefaultBaseline)); err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+}

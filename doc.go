@@ -6,5 +6,11 @@
 // (internal/core) runs real workflows with the FLU/DLU abstraction inside
 // one process, and the simulation plane (internal/simcluster +
 // internal/experiments) regenerates every figure of the paper's evaluation.
-// See README.md for a tour and the package map.
+// Cross-cutting planes grow the reproduction toward production scale: an
+// elastic routing plane (replica sets + locality-aware pinning), a
+// fault-tolerance plane (health states + deterministic replay), and an
+// admission & QoS plane (internal/qos: per-tenant token buckets,
+// weighted-fair execution queueing, pressure-driven overload shedding —
+// off by default, exercised by `benchrunner -exp overload`). See README.md
+// for a tour and the package map.
 package repro

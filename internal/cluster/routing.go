@@ -30,10 +30,15 @@ func (l Loads) Clone() Loads {
 
 // Replica is one placement of a function on a node. Load is the hint
 // observed when the snapshot was built — a routing tiebreaker, not a live
-// counter.
+// counter. TenantLoad, when the admission & QoS plane is on, breaks the
+// node's in-flight load down per tenant at build time, so placement
+// policies (and least-loaded pinning) can see which tenant's pressure a
+// node carries; nil otherwise. Snapshots are immutable after publication,
+// and that covers TenantLoad: builders hand over a fresh map per replica.
 type Replica struct {
-	Node string
-	Load float64
+	Node       string
+	Load       float64
+	TenantLoad map[string]float64
 }
 
 // RoutingSnapshot is one immutable, versioned state of the routing plane:

@@ -41,6 +41,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataflow"
 	"repro/internal/pipe"
+	"repro/internal/qos"
 	"repro/internal/trace"
 	"repro/internal/wmm"
 	"repro/internal/workflow"
@@ -101,6 +102,12 @@ type Config struct {
 	// single-owner fast path; when false the engine is byte-for-byte the
 	// fault-oblivious one (health states are simply never consulted).
 	FaultTolerant bool
+	// QoS enables the admission & QoS plane (qos.go): per-tenant
+	// token-bucket admission, a weighted-fair queue in front of instance
+	// execution, and a pressure-driven shedding governor. Nil — the default
+	// — keeps every QoS gate off every path; the engine is byte-for-byte
+	// the QoS-less one and Invoke admits unconditionally.
+	QoS *qos.Config
 }
 
 // Elastic configures the background replica scaler: it periodically reads
@@ -176,6 +183,22 @@ type System struct {
 	ft      bool
 	replays atomic.Int64
 
+	// qos is the assembled admission & QoS plane, nil when Config.QoS is —
+	// every QoS gate in the engine is behind a nil check on it. trackPut
+	// keeps the per-function put-size averages flowing when either the
+	// elastic scaler or the QoS governor needs the Eq. 1 pressure estimate.
+	qos      *qosPlane
+	trackPut bool
+	// nodeTenantLoad breaks nodeLoad down per tenant (QoS elastic mode
+	// only): the hints replica selection and snapshot publication read.
+	nodeTenantLoad map[*cluster.Node]*tenantLoads
+
+	// Rejection counters (see Rejections).
+	rejAdmission atomic.Int64
+	rejOverload  atomic.Int64
+	rejShutdown  atomic.Int64
+	rejInvalid   atomic.Int64
+
 	// sinkRetain is true when any node's sink retains consumed entries for
 	// replay: a Get then frees nothing, so teardown's zero-residue shortcut
 	// is invalid and every request must run the ReleaseRequest sweep.
@@ -224,9 +247,10 @@ type System struct {
 	closeMu sync.RWMutex
 	closed  bool
 
-	stopReaper chan struct{}
-	stopScaler chan struct{}
-	bg         sync.WaitGroup
+	stopReaper   chan struct{}
+	stopScaler   chan struct{}
+	stopGovernor chan struct{}
+	bg           sync.WaitGroup
 }
 
 // fnState is one function's control-plane record, resolved at NewSystem:
@@ -396,6 +420,23 @@ func NewSystem(cfg Config) (*System, error) {
 	for i := 0; i < workers; i++ {
 		go s.execWorker()
 	}
+	if cfg.QoS != nil {
+		s.qos = newQoSPlane(*cfg.QoS, workers)
+		if !s.static {
+			s.nodeTenantLoad = make(map[*cluster.Node]*tenantLoads, len(s.allNodes))
+			for _, n := range s.allNodes {
+				s.nodeTenantLoad[n] = newTenantLoads()
+			}
+		}
+		if s.qos.cfg.GovernorInterval > 0 {
+			s.stopGovernor = make(chan struct{})
+			s.bg.Add(1)
+			go s.governor()
+		}
+	}
+	// The Eq. 1 put-size averages feed both the elastic scaler and the QoS
+	// governor; maintain them when either consumer exists.
+	s.trackPut = !s.static || s.qos != nil
 	if cfg.ReapInterval > 0 {
 		s.stopReaper = make(chan struct{})
 		s.bg.Add(1)
@@ -498,15 +539,17 @@ type routePin struct {
 
 // selectReplica picks fn's replica for a new pin: prefer, when it hosts a
 // replica (locality-first — the producer's output skips the network ship),
-// else the replica whose node has the fewest in-flight instances. Under the
+// else the replica whose node has the lowest load reading (in-flight
+// instances; under QoS, plus the pinning tenant's own in-flight there, so
+// a hot tenant spreads instead of stacking — see replicaLoad). Under the
 // fault-tolerance plane only Up nodes are pinnable (a draining node takes
 // no new pins, a dead one nothing), with a fallback to any Up cluster node
 // when the whole replica set is unhealthy — the synchronous counterpart of
 // the scaler's backfill.
-func (s *System) selectReplica(st *fnState, prefer *cluster.Node) (*cluster.Node, int) {
+func (s *System) selectReplica(st *fnState, prefer *cluster.Node, tenant string) (*cluster.Node, int) {
 	reps := st.replicaList()
 	if s.ft {
-		return s.selectHealthyReplica(st, reps, prefer)
+		return s.selectHealthyReplica(st, reps, prefer, tenant)
 	}
 	if len(reps) == 1 {
 		return reps[0], 0
@@ -519,9 +562,9 @@ func (s *System) selectReplica(st *fnState, prefer *cluster.Node) (*cluster.Node
 		}
 	}
 	best, bi := reps[0], 0
-	bl := s.nodeLoad[reps[0]].Load()
+	bl := s.replicaLoad(reps[0], tenant)
 	for i := 1; i < len(reps); i++ {
-		if l := s.nodeLoad[reps[i]].Load(); l < bl {
+		if l := s.replicaLoad(reps[i], tenant); l < bl {
 			best, bi, bl = reps[i], i, l
 		}
 	}
@@ -551,7 +594,7 @@ func (s *System) routeFor(inv *Invocation, st *fnState, prefer *cluster.Node) (*
 			return n, o
 		}
 	}
-	n, o := s.selectReplica(st, prefer)
+	n, o := s.selectReplica(st, prefer, inv.tenant)
 	inv.route = append(inv.route, routePin{fn: st.name, node: n, ordinal: o})
 	inv.mu.Unlock()
 	return n, o
@@ -570,7 +613,10 @@ func (s *System) traceEvent(kind trace.Kind, reqID, fn string, idx int, note str
 type Invocation struct {
 	ReqID string
 
-	sys     *System
+	sys *System
+	// tenant is the request's QoS attribution (empty when the plane is
+	// off). Immutable after InvokeWith.
+	tenant  string
 	tracker dataflow.Tracker // embedded by value: one allocation per request
 	mu      sync.Mutex
 	done    chan struct{}
@@ -608,6 +654,10 @@ type Invocation struct {
 	// ReleaseRequest sweep entirely.
 	sinkResidue atomic.Int64
 }
+
+// Tenant returns the request's QoS tenant attribution ("" when the
+// admission plane is off).
+func (inv *Invocation) Tenant() string { return inv.tenant }
 
 // Done is closed when the request completes (successfully or not).
 func (inv *Invocation) Done() <-chan struct{} { return inv.done }
@@ -747,8 +797,18 @@ func (s *System) SinkStats() wmm.Stats {
 }
 
 // Invoke starts one workflow request. input maps "function.input" to the
-// payload for every user entry input.
+// payload for every user entry input. Traffic invoked this way is untagged:
+// under the QoS plane it is attributed to qos.DefaultTenant.
 func (s *System) Invoke(input map[string][]byte) (*Invocation, error) {
+	return s.InvokeWith(input, InvokeOpts{})
+}
+
+// InvokeWith is Invoke with per-request options (tenant attribution for the
+// QoS plane). With Config.QoS set the request passes admission first —
+// governor shed set, then the tenant's token bucket — and a refusal returns
+// a typed *qos.ErrOverloaded with a retry-after hint before any request
+// state is allocated.
+func (s *System) InvokeWith(input map[string][]byte, opts InvokeOpts) (*Invocation, error) {
 	// Steady-state validation is one atomic load; the slow path names the
 	// first unregistered function (or falls through if registration just
 	// completed but the flag is not yet visible).
@@ -766,15 +826,27 @@ func (s *System) Invoke(input map[string][]byte) (*Invocation, error) {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
+		s.rejShutdown.Add(1)
 		return nil, errors.New("core: system is shut down")
+	}
+	var tenant string
+	if s.qos != nil {
+		tenant = opts.Tenant
+		if tenant == "" {
+			tenant = qos.DefaultTenant
+		}
+		if err := s.admit(tenant); err != nil {
+			return nil, err
+		}
 	}
 	var idBuf [24]byte
 	reqID := string(strconv.AppendInt(append(idBuf[:0], "req-"...), s.reqSeq.Add(1), 10))
 	inv := &Invocation{
-		ReqID: reqID,
-		sys:   s,
-		done:  make(chan struct{}),
-		start: time.Now(),
+		ReqID:  reqID,
+		sys:    s,
+		tenant: tenant,
+		done:   make(chan struct{}),
+		start:  time.Now(),
 	}
 	inv.tracker.Init(s.wf, reqID)
 	s.invs.put(reqID, inv)
@@ -786,6 +858,7 @@ func (s *System) Invoke(input map[string][]byte) (*Invocation, error) {
 	if err != nil {
 		// Run the normal teardown so the rejected invocation does not stay
 		// in the table (and its done channel closes for any observer).
+		s.rejInvalid.Add(1)
 		inv.fail(err)
 		return nil, err
 	}
@@ -863,6 +936,14 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	if !s.static {
 		defer st.pending.Add(-1)
 	}
+	if s.qos != nil {
+		// Weighted-fair execution grant: immediate while the engine keeps
+		// up, drained by tenant weight once it saturates. Held for the whole
+		// execution — container acquisition included, so parked work cannot
+		// consume containers.
+		release := s.qos.queue.Acquire(inv.tenant)
+		defer release()
+	}
 	// Replica selection: the node the request's data for fn was routed to
 	// (pinned at the first ship), or — for entry functions, which receive
 	// their input straight from the user — the least-loaded replica.
@@ -871,6 +952,11 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 		ld := s.nodeLoad[node]
 		ld.Add(1)
 		defer ld.Add(-1)
+		if s.qos != nil {
+			tc := s.nodeTenantLoad[node].counter(inv.tenant)
+			tc.Add(1)
+			defer tc.Add(-1)
+		}
 	}
 	st.sem <- struct{}{}
 	defer func() { <-st.sem }()

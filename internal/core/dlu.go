@@ -120,8 +120,9 @@ func (c *Context) put(output string, values []dataflow.Value, switchCase int) er
 			}
 		}
 	}
-	if !s.static {
-		// Transfer-size average for the scaler's Eq. 1 estimate.
+	if s.trackPut {
+		// Transfer-size average for the Eq. 1 estimate the elastic scaler
+		// and the QoS governor share (transferPressure).
 		c.fst.putBytes.Add(totalSize)
 		c.fst.putCount.Add(1)
 	}
@@ -465,6 +466,9 @@ func (s *System) Shutdown() {
 	}
 	if s.stopScaler != nil {
 		close(s.stopScaler)
+	}
+	if s.stopGovernor != nil {
+		close(s.stopGovernor)
 	}
 	// Close every container's DLU queue. Nodes mark themselves shut first,
 	// so a cold start racing this loop produces a container that is born

@@ -45,7 +45,7 @@ func (s *System) repairLocked(inv *Invocation) {
 			continue
 		}
 		st := s.fns[inv.route[i].fn]
-		next, ordinal := s.selectReplica(st, nil)
+		next, ordinal := s.selectReplica(st, nil, inv.tenant)
 		if next == dead {
 			// Nothing healthier exists (whole cluster down); leave the pin.
 			continue
@@ -93,7 +93,7 @@ func (s *System) replayLocked(inv *Invocation, fn string, dead, next *cluster.No
 // cluster node (ordinals beyond the replica set keep sink keys unique per
 // node), then — with nothing Up at all — the primary, leaving the request
 // to limp until something recovers.
-func (s *System) selectHealthyReplica(st *fnState, reps []*cluster.Node, prefer *cluster.Node) (*cluster.Node, int) {
+func (s *System) selectHealthyReplica(st *fnState, reps []*cluster.Node, prefer *cluster.Node, tenant string) (*cluster.Node, int) {
 	if prefer != nil && prefer.Routable() {
 		for i, n := range reps {
 			if n == prefer {
@@ -108,7 +108,7 @@ func (s *System) selectHealthyReplica(st *fnState, reps []*cluster.Node, prefer 
 		if !n.Routable() {
 			continue
 		}
-		l := s.nodeLoad[n].Load()
+		l := s.replicaLoad(n, tenant)
 		if best == nil || l < bl {
 			best, bi, bl = n, i, l
 		}
@@ -121,7 +121,7 @@ func (s *System) selectHealthyReplica(st *fnState, reps []*cluster.Node, prefer 
 		if !n.Routable() {
 			continue
 		}
-		l := s.nodeLoad[n].Load()
+		l := s.replicaLoad(n, tenant)
 		if best == nil || l < bl {
 			best, bi, bl = n, len(reps)+i, l
 		}
@@ -146,7 +146,7 @@ func (s *System) relandTarget(inv *Invocation, fn string) (*cluster.Node, int) {
 			return inv.route[i].node, inv.route[i].ordinal
 		}
 	}
-	n, o := s.selectReplica(st, nil)
+	n, o := s.selectReplica(st, nil, inv.tenant)
 	inv.route = append(inv.route, routePin{fn: fn, node: n, ordinal: o})
 	return n, o
 }

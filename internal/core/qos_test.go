@@ -1,0 +1,502 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/qos"
+	"repro/internal/trace"
+	"repro/internal/workflow"
+)
+
+const qosDSL = `
+workflow qos
+function a
+  input in from $USER
+  output x to b.x
+function b
+  input x
+  output out to $USER
+`
+
+// newQoSSystem builds a two-function chain over two nodes with the given
+// QoS config (nil = plane off) and a handler pause per instance.
+func newQoSSystem(t *testing.T, qcfg *qos.Config, pause time.Duration) *System {
+	t.Helper()
+	wf, err := workflow.ParseDSLString(qosDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewCluster(nil)
+	for i := 1; i <= 2; i++ {
+		if err := cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i), cluster.Options{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := NewSystem(Config{Workflow: wf, Cluster: cl, QoS: qcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg(sys.Register("a", func(ctx *Context) error {
+		if pause > 0 {
+			time.Sleep(pause)
+		}
+		in, err := ctx.Input("in")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("x", in)
+	}))
+	reg(sys.Register("b", func(ctx *Context) error {
+		x, err := ctx.Input("x")
+		if err != nil {
+			return err
+		}
+		return ctx.Put("out", x)
+	}))
+	return sys
+}
+
+func TestQoSOffByDefault(t *testing.T) {
+	sys := newQoSSystem(t, nil, 0)
+	defer sys.Shutdown()
+	// With the plane off, InvokeWith ignores the tenant and nothing is
+	// attributed or admitted.
+	inv, err := sys.InvokeWith(map[string][]byte{"a.in": []byte("x")}, InvokeOpts{Tenant: "vip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Tenant() != "" {
+		t.Fatalf("tenant = %q, want untagged with QoS off", inv.Tenant())
+	}
+	if sys.ShedSet() != nil || sys.QueueDepth() != 0 {
+		t.Fatal("QoS observables active with the plane off")
+	}
+	if got := sys.Rejections(); got != (Rejections{}) {
+		t.Fatalf("rejections = %+v, want zero", got)
+	}
+}
+
+func TestRejectionsShutdownAndInvalid(t *testing.T) {
+	sys := newQoSSystem(t, nil, 0)
+	// Invalid input: the tracker refuses an unknown entry input; the
+	// invocation is registered and torn down (previously invisible).
+	if _, err := sys.Invoke(map[string][]byte{"nope.in": []byte("x")}); err == nil {
+		t.Fatal("invalid input admitted")
+	}
+	if got := sys.Rejections().Invalid; got != 1 {
+		t.Fatalf("Invalid = %d, want 1", got)
+	}
+	if got := sys.PendingInvocations(); got != 0 {
+		t.Fatalf("rejected invocation leaked: %d pending", got)
+	}
+	sys.Shutdown()
+	if _, err := sys.Invoke(map[string][]byte{"a.in": []byte("x")}); err == nil {
+		t.Fatal("post-shutdown Invoke admitted")
+	}
+	if got := sys.Rejections().Shutdown; got != 1 {
+		t.Fatalf("Shutdown = %d, want 1", got)
+	}
+	if got := sys.Rejections().Total(); got != 2 {
+		t.Fatalf("Total = %d, want 2", got)
+	}
+}
+
+func TestQoSAdmissionTokenBucket(t *testing.T) {
+	tl := trace.NewLog()
+	qcfg := &qos.Config{
+		Tenants: map[string]qos.Tenant{
+			"metered": {Rate: 0.001, Burst: 3},
+		},
+		GovernorInterval: -1, // admission only
+	}
+	wf, err := workflow.ParseDSLString(qosDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewCluster(nil)
+	_ = cl.AddNode(cluster.NewNode("w1", cluster.Options{}))
+	sys, err := NewSystem(Config{Workflow: wf, Cluster: cl, QoS: qcfg, Trace: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	_ = sys.Register("a", func(ctx *Context) error {
+		in, _ := ctx.Input("in")
+		return ctx.Put("x", in)
+	})
+	_ = sys.Register("b", func(ctx *Context) error {
+		x, _ := ctx.Input("x")
+		return ctx.Put("out", x)
+	})
+
+	in := map[string][]byte{"a.in": []byte("x")}
+	for i := 0; i < 3; i++ {
+		inv, err := sys.InvokeWith(in, InvokeOpts{Tenant: "metered"})
+		if err != nil {
+			t.Fatalf("burst request %d refused: %v", i, err)
+		}
+		if err := inv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if inv.Tenant() != "metered" {
+			t.Fatalf("tenant = %q", inv.Tenant())
+		}
+	}
+	_, err = sys.InvokeWith(in, InvokeOpts{Tenant: "metered"})
+	var over *qos.ErrOverloaded
+	if !errors.As(err, &over) {
+		t.Fatalf("over-budget request: err = %v, want *qos.ErrOverloaded", err)
+	}
+	if over.Tenant != "metered" || over.Cause != qos.CauseAdmission || over.RetryAfter <= 0 {
+		t.Fatalf("rejection = %+v", over)
+	}
+	if got := sys.Rejections().Admission; got != 1 {
+		t.Fatalf("Admission = %d, want 1", got)
+	}
+	// Untagged traffic maps to the (unlimited) default tenant.
+	inv, err := sys.Invoke(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Tenant() != qos.DefaultTenant {
+		t.Fatalf("untagged tenant = %q, want %q", inv.Tenant(), qos.DefaultTenant)
+	}
+	// The refusal was traced as a Shed event.
+	shed := 0
+	for _, e := range tl.Events() {
+		if e.Kind == trace.Shed {
+			shed++
+		}
+	}
+	if shed != 1 {
+		t.Fatalf("traced %d Shed events, want 1", shed)
+	}
+}
+
+func TestQoSPerTenantInFlightCap(t *testing.T) {
+	qcfg := &qos.Config{
+		Tenants: map[string]qos.Tenant{
+			"capped": {MaxInFlight: 1},
+		},
+		Capacity:         8,
+		GovernorInterval: -1,
+	}
+	var cur, peak atomic.Int64
+	sys := newQoSSystem(t, qcfg, 0)
+	defer sys.Shutdown()
+	// Re-register a to observe its concurrency (handlers may be re-registered).
+	_ = sys.Register("a", func(ctx *Context) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		in, _ := ctx.Input("in")
+		return ctx.Put("x", in)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inv, err := sys.InvokeWith(map[string][]byte{"a.in": []byte("x")}, InvokeOpts{Tenant: "capped"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := inv.Wait(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// a and b never run concurrently within one request (b consumes a's
+	// output), so the cap of 1 execution grant caps a's concurrency at 1.
+	if p := peak.Load(); p > 1 {
+		t.Fatalf("capped tenant reached %d concurrent executions, want <= 1", p)
+	}
+}
+
+// TestQoSGovernorShedsHotTenant drives the engine into saturation with a
+// flooding tenant and checks that (a) the governor sheds it with a typed
+// retry-after error, (b) the well-behaved tenant keeps being admitted, and
+// (c) the shed set clears once the overload drains.
+func TestQoSGovernorShedsHotTenant(t *testing.T) {
+	qcfg := &qos.Config{
+		Tenants: map[string]qos.Tenant{
+			"hot":  {Weight: 1},
+			"good": {Weight: 1},
+		},
+		Capacity:         2,
+		ShedQueueDepth:   4,
+		GovernorInterval: 2 * time.Millisecond,
+	}
+	sys := newQoSSystem(t, qcfg, 3*time.Millisecond)
+	defer sys.Shutdown()
+	in := map[string][]byte{"a.in": []byte("x")}
+
+	// A well-behaved tenant keeps modest closed-loop demand going: shedding
+	// arbitrates between tenants, so the governor needs someone to protect.
+	goodStop := make(chan struct{})
+	var goodWG sync.WaitGroup
+	goodWG.Add(1)
+	go func() {
+		defer goodWG.Done()
+		for {
+			select {
+			case <-goodStop:
+				return
+			default:
+			}
+			inv, err := sys.InvokeWith(in, InvokeOpts{Tenant: "good"})
+			if err != nil {
+				continue // transient; checked explicitly below
+			}
+			_ = inv.Wait()
+		}
+	}()
+
+	// Flood: far more hot work than capacity 2 can drain; queue depth grows
+	// past ShedQueueDepth and the governor marks hot over-limit.
+	var invs []*Invocation
+	deadline := time.Now().Add(10 * time.Second)
+	var hotErr *qos.ErrOverloaded
+	for time.Now().Before(deadline) {
+		inv, err := sys.InvokeWith(in, InvokeOpts{Tenant: "hot"})
+		if err != nil {
+			if !errors.As(err, &hotErr) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		invs = append(invs, inv)
+		if len(invs)%8 == 0 {
+			// Pace the flood so the parked instances and the governor get
+			// scheduled; the drain below stays bounded.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if hotErr == nil {
+		t.Fatalf("hot tenant never shed (backlog %d, depth %d, shed set %v)",
+			len(invs), sys.QueueDepth(), sys.ShedSet())
+	}
+	if hotErr.Cause != qos.CauseShed || hotErr.RetryAfter <= 0 {
+		t.Fatalf("shed error = %+v", hotErr)
+	}
+	if got := sys.Rejections().Overload; got == 0 {
+		t.Fatal("Overload rejection not counted")
+	}
+	// The well-behaved tenant is still admitted while hot is shed.
+	gInv, err := sys.InvokeWith(in, InvokeOpts{Tenant: "good"})
+	if err != nil {
+		t.Fatalf("good tenant rejected during hot overload: %v", err)
+	}
+	close(goodStop)
+	goodWG.Wait()
+	// Drain everything; the shed set must clear with the overload.
+	for _, inv := range invs {
+		if err := inv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gInv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for sys.ShedSet() != nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("shed set %v never cleared after drain", sys.ShedSet())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Post-overload, hot is admitted again.
+	inv, err := sys.InvokeWith(in, InvokeOpts{Tenant: "hot"})
+	if err != nil {
+		t.Fatalf("hot tenant still rejected after overload cleared: %v", err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQoSTenantLoadHints exercises the QoS + elastic combination: replica
+// selection and snapshot publication read the per-tenant node loads.
+func TestQoSTenantLoadHints(t *testing.T) {
+	wf, err := workflow.ParseDSLString(qosDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewCluster(cluster.RoundRobin{Replicas: 2})
+	_ = cl.AddNode(cluster.NewNode("w1", cluster.Options{}))
+	_ = cl.AddNode(cluster.NewNode("w2", cluster.Options{}))
+	block := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(2)
+	sys, err := NewSystem(Config{
+		Workflow: wf, Cluster: cl,
+		QoS: &qos.Config{GovernorInterval: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	_ = sys.Register("a", func(ctx *Context) error {
+		started.Done()
+		<-block
+		in, _ := ctx.Input("in")
+		return ctx.Put("x", in)
+	})
+	_ = sys.Register("b", func(ctx *Context) error {
+		x, _ := ctx.Input("x")
+		return ctx.Put("out", x)
+	})
+	in := map[string][]byte{"a.in": []byte("x")}
+	i1, err := sys.InvokeWith(in, InvokeOpts{Tenant: "vip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := sys.InvokeWith(in, InvokeOpts{Tenant: "vip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started.Wait()
+	// Two vip instances of a are executing; the published snapshot must
+	// carry vip's load on a's replicas.
+	sys.publishSnapshot()
+	snap := sys.RoutingSnapshot()
+	vip := 0.0
+	for _, fn := range snap.Functions() {
+		for _, r := range snap.Replicas(fn) {
+			vip += r.TenantLoad["vip"]
+		}
+	}
+	if vip == 0 {
+		t.Fatal("published snapshot carries no vip tenant load")
+	}
+	close(block)
+	if err := i1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := i2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantStormInvokeVsGovernorVsShutdown is the CI -race storm: Invoke
+// traffic across tenants races the governor's reweighting (2 ms ticks) and
+// a mid-storm Shutdown. Every outcome must be a clean completion, a typed
+// rejection, or an abandoned-on-shutdown request (whose Done simply stays
+// open, the documented Shutdown contract) — never a panic or a hang.
+func TestTenantStormInvokeVsGovernorVsShutdown(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		qcfg := &qos.Config{
+			Tenants: map[string]qos.Tenant{
+				"t0": {Weight: 4},
+				"t1": {Weight: 2, Rate: 500, Burst: 50},
+				"t2": {Weight: 1, MaxInFlight: 2},
+			},
+			Capacity:         3,
+			ShedQueueDepth:   6,
+			GovernorInterval: 2 * time.Millisecond,
+		}
+		sys := newQoSSystem(t, qcfg, time.Millisecond)
+		var rejected atomic.Int64
+		var invMu sync.Mutex
+		var invs []*Invocation
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tenant := fmt.Sprintf("t%d", g%3)
+				in := map[string][]byte{"a.in": []byte("x")}
+				// Semi-open loop: up to 8 outstanding requests per invoker,
+				// so the queue stays pressured but completions still drain
+				// (a pure fire-and-forget flood would starve every request's
+				// second stage behind the next request's first).
+				var window []*Invocation
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					inv, err := sys.InvokeWith(in, InvokeOpts{Tenant: tenant})
+					if err != nil {
+						var over *qos.ErrOverloaded
+						if errors.As(err, &over) {
+							rejected.Add(1)
+							continue
+						}
+						if err.Error() == "core: system is shut down" {
+							return
+						}
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+					invMu.Lock()
+					invs = append(invs, inv)
+					invMu.Unlock()
+					window = append(window, inv)
+					if len(window) >= 8 {
+						select {
+						case <-window[0].Done():
+							window = window[1:]
+						case <-stop:
+							return
+						}
+					}
+				}
+			}()
+		}
+		time.Sleep(25 * time.Millisecond)
+		sys.Shutdown() // races in-flight Invokes and the governor
+		close(stop)
+		wg.Wait()
+		sys.Shutdown() // idempotent
+
+		completed := 0
+		for _, inv := range invs {
+			select {
+			case <-inv.Done():
+				if err := inv.Err(); err != nil {
+					t.Fatalf("completed request failed: %v", err)
+				}
+				completed++
+			default: // abandoned mid-flight by Shutdown
+			}
+		}
+		if completed == 0 {
+			t.Fatal("storm completed nothing")
+		}
+		rej := sys.Rejections()
+		if rej.Invalid != 0 {
+			t.Fatalf("storm produced invalid-input rejections: %+v", rej)
+		}
+		t.Logf("round %d: %d admitted (%d completed), %d qos-rejected, rejections %+v",
+			round, len(invs), completed, rejected.Load(), rej)
+	}
+}

@@ -107,17 +107,7 @@ func (s *System) wantScaleUp(st *fnState, pending int64, k int) bool {
 	if pending <= int64(k) {
 		return false
 	}
-	n := st.putCount.Load()
-	if n == 0 {
-		return false
-	}
-	bw := st.spec.BandwidthBps()
-	if bw <= 0 {
-		return false
-	}
-	avgBytes := float64(st.putBytes.Load()) / float64(n)
-	pressure := time.Duration(s.cfg.Alpha*avgBytes/bw*float64(time.Second)) - st.avg()
-	return pressure > 0
+	return s.transferPressure(st) > 0
 }
 
 // pickNewReplica returns the least-loaded node not already in the replica
@@ -187,14 +177,20 @@ func (s *System) pruneDeadReplicas(st *fnState) bool {
 }
 
 // publishSnapshot rebuilds the routing snapshot from the live replica sets
-// (load hints from the in-flight instance counters) and publishes it.
+// (load hints from the in-flight instance counters; under QoS, with the
+// per-tenant breakdown so policies see whose pressure a node carries) and
+// publishes it.
 func (s *System) publishSnapshot() {
 	sets := make(map[string][]cluster.Replica, len(s.fnList))
 	for _, st := range s.fnList {
 		reps := st.replicaList()
 		rs := make([]cluster.Replica, len(reps))
 		for i, n := range reps {
-			rs[i] = cluster.Replica{Node: n.Name, Load: float64(s.nodeLoad[n].Load())}
+			rs[i] = cluster.Replica{
+				Node:       n.Name,
+				Load:       float64(s.nodeLoad[n].Load()),
+				TenantLoad: s.tenantLoadHints(n),
+			}
 		}
 		sets[st.name] = rs
 	}

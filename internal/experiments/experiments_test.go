@@ -272,8 +272,8 @@ func TestByIDAndAll(t *testing.T) {
 
 func TestIDsCoverRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Fatalf("IDs() = %d entries, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("IDs() = %d entries, want 16", len(ids))
 	}
 	for _, id := range ids {
 		if _, ok := ByID(id); !ok {
@@ -281,9 +281,48 @@ func TestIDsCoverRegistry(t *testing.T) {
 		}
 	}
 	// The extras must be addressable even though All skips them.
-	for _, extra := range []string{"skew", "faults"} {
+	for _, extra := range []string{"skew", "faults", "overload"} {
 		if _, ok := ByID(extra); !ok {
 			t.Fatalf("extra experiment %q missing from registry", extra)
+		}
+	}
+}
+
+func TestOverloadIsolatesWellBehavedTenant(t *testing.T) {
+	rep := Overload(quick)
+	rows := rep.Tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("overload rows = %d, want 5", len(rows))
+	}
+	find := func(scenario, tenant string) []string {
+		for _, row := range rows {
+			if row[0] == scenario && row[1] == tenant {
+				return row
+			}
+		}
+		t.Fatalf("row %s/%s missing", scenario, tenant)
+		return nil
+	}
+	// The acceptance claim: with QoS on, the well-behaved tenant's p99 is
+	// within ~1.2x of its solo baseline while the hot tenant is throttled.
+	guarded := find("shared, QoS on", "good")
+	ratio := parseF(t, strings.TrimSuffix(guarded[8], "x"))
+	if ratio > 1.2 {
+		t.Fatalf("good tenant p99 ratio %.2fx exceeds 1.2x under QoS", ratio)
+	}
+	hot := find("shared, QoS on", "hot")
+	throttled, shed := parseF(t, hot[4]), parseF(t, hot[5])
+	if throttled+shed == 0 {
+		t.Fatal("hot tenant never throttled or shed under QoS")
+	}
+	if completed := parseF(t, hot[3]); completed >= parseF(t, hot[2]) {
+		t.Fatal("hot tenant completed everything it issued — not throttled")
+	}
+	// The good tenant loses nothing in any scenario.
+	for _, scenario := range []string{"good solo", "shared, QoS off", "shared, QoS on"} {
+		row := find(scenario, "good")
+		if row[2] != row[3] {
+			t.Fatalf("%s: good tenant completed %s of %s", scenario, row[3], row[2])
 		}
 	}
 }

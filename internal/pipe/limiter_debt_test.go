@@ -1,0 +1,176 @@
+package pipe
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// These tests pin the Limiter's pacing-debt accumulator at its boundaries
+// (the kernel-TC-granularity semantics): sub-100µs charges accrue in the
+// bucket instead of parking on a timer, long idle forgets unpaid
+// micro-debt, a zero rate never blocks, and a mid-stream SetRate prices
+// future charges without repricing accrued debt. All on the manual clock,
+// so every deadline is asserted exactly.
+
+// takeAsync runs l.Take(n) in a goroutine and reports a channel that closes
+// when it returns.
+func takeAsync(l *Limiter, n int64) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		l.Take(n)
+	}()
+	return done
+}
+
+// mustReturn fails the test unless Take already returned (i.e. it did not
+// park on the clock).
+func mustReturn(t *testing.T, done <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: Take blocked, want immediate return", what)
+	}
+}
+
+// mustPark waits until the goroutine behind done is parked on the manual
+// clock.
+func mustPark(t *testing.T, clk *clock.Manual, done <-chan struct{}, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Pending() == 0 {
+		select {
+		case <-done:
+			t.Fatalf("%s: Take returned, want it parked on the clock", what)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: Take never parked", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestLimiterZeroRateNeverBlocksOrAccrues(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	l := NewLimiter(clk, 0)
+	mustReturn(t, takeAsync(l, 1<<30), "unlimited take")
+	// Dropping a shaped limiter's rate to zero stops assessing waits even
+	// with debt on the books.
+	l2 := NewLimiter(clk, 1e6)
+	done := takeAsync(l2, 300) // 300µs charge: parks
+	mustPark(t, clk, done, "shaped take")
+	l2.SetRate(0)
+	clk.Advance(300 * time.Microsecond) // release the parked sleeper
+	<-done
+	mustReturn(t, takeAsync(l2, 1<<30), "take after SetRate(0)")
+	if l2.Rate() != 0 {
+		t.Fatalf("rate = %v, want 0", l2.Rate())
+	}
+}
+
+func TestLimiterSubGranularityDebtAccumulates(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	l := NewLimiter(clk, 1e6) // 1 byte = 1µs; granularity = 100 bytes
+	// Two sub-granularity charges accrue 99µs of debt without a single
+	// timer park.
+	mustReturn(t, takeAsync(l, 50), "50µs charge")
+	mustReturn(t, takeAsync(l, 49), "49µs cumulative charge")
+	// The third charge tips the bucket to 109µs: it parks for the WHOLE
+	// accumulated debt, not just its own 10µs.
+	done := takeAsync(l, 10)
+	mustPark(t, clk, done, "109µs cumulative charge")
+	clk.Advance(108 * time.Microsecond)
+	select {
+	case <-done:
+		t.Fatal("woke before the accumulated 109µs deadline")
+	default:
+	}
+	clk.Advance(2 * time.Microsecond)
+	<-done
+}
+
+func TestLimiterLongIdleForgetsMicroDebt(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	l := NewLimiter(clk, 1e6)
+	// Accrue 99µs of unpaid sub-granularity debt...
+	mustReturn(t, takeAsync(l, 99), "99µs charge")
+	// ...then go idle long enough for the bucket deadline to pass. The old
+	// debt must not combine with fresh charges into a spurious park.
+	clk.Advance(time.Second)
+	mustReturn(t, takeAsync(l, 50), "post-idle 50µs charge")
+	mustReturn(t, takeAsync(l, 49), "post-idle 49µs charge")
+	// And the fresh accumulation still works: one more byte over the line
+	// parks for exactly the fresh 109µs, nothing inherited.
+	done := takeAsync(l, 10)
+	mustPark(t, clk, done, "post-idle tipping charge")
+	clk.Advance(108 * time.Microsecond)
+	select {
+	case <-done:
+		t.Fatal("post-idle park inherited stale debt (woke early deadline math)")
+	default:
+	}
+	clk.Advance(2 * time.Microsecond)
+	<-done
+}
+
+func TestLimiterSetRateMidStream(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	l := NewLimiter(clk, 1e6)
+	// First charge priced at 1 MB/s: 200 bytes = 200µs.
+	done := takeAsync(l, 200)
+	mustPark(t, clk, done, "pre-change charge")
+	clk.Advance(200 * time.Microsecond)
+	<-done
+	// Re-shape to 2 MB/s mid-stream: the same 200 bytes now cost 100µs,
+	// stacked on the (already paid) old-rate debt.
+	l.SetRate(2e6)
+	if l.Rate() != 2e6 {
+		t.Fatalf("rate = %v, want 2e6", l.Rate())
+	}
+	done = takeAsync(l, 200)
+	mustPark(t, clk, done, "post-change charge")
+	clk.Advance(99 * time.Microsecond)
+	select {
+	case <-done:
+		t.Fatal("post-change charge still priced at the old rate (woke early)")
+	default:
+	}
+	clk.Advance(2 * time.Microsecond)
+	<-done
+	// Sub-granularity semantics follow the new rate too: at 2 MB/s, 199
+	// bytes are 99.5µs — still under the granularity, no park.
+	mustReturn(t, takeAsync(l, 199), "post-change sub-granularity charge")
+}
+
+// TestLimiterSetRateConcurrentWithTake lets the race detector chew on
+// SetRate racing the lock-free fast path and the charging slow path.
+func TestLimiterSetRateConcurrentWithTake(t *testing.T) {
+	l := NewLimiter(clock.NewWall(), 1e12) // fast enough to never park long
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					l.Take(1 << 20)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		l.SetRate(float64(1e9 + i*1e6))
+	}
+	l.SetRate(0)
+	close(stop)
+	wg.Wait()
+}

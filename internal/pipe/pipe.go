@@ -21,7 +21,9 @@ package pipe
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -37,20 +39,25 @@ const DefaultChunkSize = 64 << 10
 // ErrInjectedFailure is returned by transfers that hit an injected fault.
 var ErrInjectedFailure = errors.New("pipe: injected transfer failure")
 
-// Limiter paces bytes at a fixed rate (a fluid token bucket): concurrent
-// takers queue in FIFO arrival order, like flows sharing a TC class. A nil
-// *Limiter is valid and imposes no limit.
+// Limiter paces bytes at a configured rate (a fluid token bucket):
+// concurrent takers queue in FIFO arrival order, like flows sharing a TC
+// class. A nil *Limiter is valid and imposes no limit. The rate may be
+// changed mid-stream with SetRate (a TC class re-shape): debt already
+// folded into the bucket keeps its old price, future charges pay the new
+// one.
 type Limiter struct {
 	mu   sync.Mutex
 	clk  clock.Clock
-	rate float64 // bytes per second
+	rate atomic.Uint64 // math.Float64bits(bytes per second)
 	next time.Time
 }
 
 // NewLimiter returns a limiter enforcing bytesPerSec on clk. A
 // non-positive rate means unlimited.
 func NewLimiter(clk clock.Clock, bytesPerSec float64) *Limiter {
-	return &Limiter{clk: clk, rate: bytesPerSec}
+	l := &Limiter{clk: clk}
+	l.rate.Store(math.Float64bits(bytesPerSec))
+	return l
 }
 
 // Rate returns the configured rate in bytes/second (<=0 unlimited).
@@ -58,7 +65,16 @@ func (l *Limiter) Rate() float64 {
 	if l == nil {
 		return 0
 	}
-	return l.rate
+	return math.Float64frombits(l.rate.Load())
+}
+
+// SetRate re-shapes the limiter to bytesPerSec (<= 0 unlimited) for future
+// Takes. Accrued pacing debt is preserved, not repriced: bytes charged
+// before the change keep the wait they were already assessed, and a rate
+// drop to zero simply stops assessing new waits (a pending sub-granularity
+// debt is never paid). Safe concurrently with Take.
+func (l *Limiter) SetRate(bytesPerSec float64) {
+	l.rate.Store(math.Float64bits(bytesPerSec))
 }
 
 // limiterGranularity is the smallest wait Take actually sleeps. Shorter
@@ -71,21 +87,32 @@ const limiterGranularity = 100 * time.Microsecond
 
 // Take blocks until n bytes may pass.
 func (l *Limiter) Take(n int64) {
-	if l == nil || l.rate <= 0 || n <= 0 {
+	if l == nil || n <= 0 {
+		return
+	}
+	rate := l.Rate()
+	if rate <= 0 {
 		return
 	}
 	// A charge that rounds to less than one nanosecond cannot advance the
 	// bucket (the duration truncates to zero below), so skip the lock and
-	// clock read entirely. rate is immutable after construction.
-	if float64(n)*float64(time.Second) < l.rate {
+	// clock read entirely. The rate is re-read under the lock: a racing
+	// SetRate may price this charge at either rate, but never corrupts the
+	// bucket.
+	if float64(n)*float64(time.Second) < rate {
 		return
 	}
 	l.mu.Lock()
+	rate = l.Rate()
+	if rate <= 0 {
+		l.mu.Unlock()
+		return
+	}
 	now := l.clk.Now()
 	if l.next.Before(now) {
 		l.next = now
 	}
-	l.next = l.next.Add(time.Duration(float64(n) / l.rate * float64(time.Second)))
+	l.next = l.next.Add(time.Duration(float64(n) / rate * float64(time.Second)))
 	wait := l.next.Sub(now)
 	l.mu.Unlock()
 	if wait >= limiterGranularity {

@@ -1,0 +1,165 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func govConfig() *Config {
+	c := Config{
+		Capacity:         4,
+		ShedQueueDepth:   8,
+		MaxResidentBytes: 1 << 20,
+	}.WithDefaults(4)
+	return &c
+}
+
+func TestGovernorIdleShedsNothing(t *testing.T) {
+	g := NewGovernor(govConfig())
+	shed := g.Update(Sample{
+		QueueDepth: 2, InFlight: 3, Capacity: 4,
+		Tenants: map[string]TenantLoad{"a": {Waiting: 2, InFlight: 3, Weight: 1}},
+	})
+	if shed != nil {
+		t.Fatalf("unoverloaded engine shed %v", shed)
+	}
+	if _, s := g.Shedding("a"); s {
+		t.Fatal("tenant shed without overload")
+	}
+}
+
+func TestGovernorShedsOverLimitTenantOnly(t *testing.T) {
+	g := NewGovernor(govConfig())
+	// Queue depth 20 > ShedQueueDepth 8: overloaded. Equal weights, hot
+	// tenant holds 18 of the 20 parked items — 90% of the pie against a 50%
+	// share — while the well-behaved tenant is within its share.
+	shed := g.Update(Sample{
+		QueueDepth: 20, InFlight: 4, Capacity: 4,
+		Tenants: map[string]TenantLoad{
+			"hot":  {Waiting: 18, InFlight: 2, Weight: 1},
+			"good": {Waiting: 2, InFlight: 2, Weight: 1},
+		},
+	})
+	if len(shed) != 1 || shed[0] != "hot" {
+		t.Fatalf("shed = %v, want [hot]", shed)
+	}
+	if ra, s := g.Shedding("hot"); !s || ra <= 0 {
+		t.Fatalf("hot: shed=%v retryAfter=%v", s, ra)
+	}
+	if _, s := g.Shedding("good"); s {
+		t.Fatal("well-behaved tenant shed")
+	}
+	// The overload clears; so must the shed set.
+	g.Update(Sample{QueueDepth: 0, InFlight: 1, Capacity: 4,
+		Tenants: map[string]TenantLoad{"hot": {InFlight: 1, Weight: 1}}})
+	if _, s := g.Shedding("hot"); s {
+		t.Fatal("shed survived the overload clearing")
+	}
+}
+
+func TestGovernorWeightShiftsShare(t *testing.T) {
+	g := NewGovernor(govConfig())
+	// Same demand split as above, but hot carries 9x the weight: 18/20 of
+	// the demand against a 90% share is within OverFactor, nothing is shed.
+	shed := g.Update(Sample{
+		QueueDepth: 20, InFlight: 4, Capacity: 4,
+		Tenants: map[string]TenantLoad{
+			"hot":  {Waiting: 18, InFlight: 2, Weight: 9},
+			"good": {Waiting: 2, InFlight: 2, Weight: 1},
+		},
+	})
+	if shed != nil {
+		t.Fatalf("shed = %v, want none (weight covers the demand)", shed)
+	}
+}
+
+// TestGovernorShedClearsWithoutDemand pins the self-sustaining-shed
+// regression: an engine still "overloaded" by a slow signal (resident
+// bytes) after the backlog drained must clear the shed set — a shed
+// tenant's demand is zero precisely because it is shed, so a stale set
+// would lock it out until the occupancy decayed.
+func TestGovernorShedClearsWithoutDemand(t *testing.T) {
+	g := NewGovernor(govConfig())
+	g.Update(Sample{
+		QueueDepth: 20, InFlight: 4, Capacity: 4,
+		Tenants: map[string]TenantLoad{
+			"hot":  {Waiting: 18, InFlight: 2, Weight: 1},
+			"good": {Waiting: 2, InFlight: 2, Weight: 1},
+		},
+	})
+	if _, s := g.Shedding("hot"); !s {
+		t.Fatal("setup: hot not shed")
+	}
+	// Backlog drained, but WMM occupancy still past the bound: overloaded
+	// with zero demand.
+	shed := g.Update(Sample{ResidentBytes: 2 << 20, Capacity: 4})
+	if shed != nil {
+		t.Fatalf("demandless overload shed %v", shed)
+	}
+	if _, s := g.Shedding("hot"); s {
+		t.Fatal("stale shed set survived a demandless overload sample")
+	}
+}
+
+func TestGovernorPressureSignal(t *testing.T) {
+	g := NewGovernor(govConfig())
+	// Below the depth threshold, but transfer-bound while saturated with a
+	// backlog: still overloaded.
+	s := Sample{
+		Pressure:   10 * time.Millisecond,
+		QueueDepth: 6, InFlight: 4, Capacity: 4,
+		Tenants: map[string]TenantLoad{
+			"hot": {Waiting: 6, InFlight: 4, Weight: 1},
+		},
+	}
+	if !g.Overloaded(s) {
+		t.Fatal("positive pressure with saturation not overloaded")
+	}
+	s.InFlight = 2 // not saturated: pressure alone must not shed
+	if g.Overloaded(s) {
+		t.Fatal("pressure without saturation reported overloaded")
+	}
+}
+
+func TestGovernorOccupancySignal(t *testing.T) {
+	g := NewGovernor(govConfig())
+	s := Sample{
+		ResidentBytes: 2 << 20, // past MaxResidentBytes = 1 MB
+		QueueDepth:    1, InFlight: 1, Capacity: 4,
+		Tenants: map[string]TenantLoad{"a": {Waiting: 1, InFlight: 1, Weight: 1}},
+	}
+	if !g.Overloaded(s) {
+		t.Fatal("resident bytes past the bound not overloaded")
+	}
+}
+
+func TestGovernorLoneTenantBoundedBacklog(t *testing.T) {
+	g := NewGovernor(govConfig())
+	// One tenant, backlog 20 against capacity 4: demand 24 > 2 x 24? No —
+	// the pie is the tenant's own demand, so a lone tenant is shed only via
+	// the capacity floor: demand > OverFactor x max(demand, capacity) never
+	// holds. The depth threshold still marks the engine overloaded, but
+	// with nothing to arbitrate between, nothing is shed.
+	shed := g.Update(Sample{
+		QueueDepth: 20, InFlight: 4, Capacity: 4,
+		Tenants: map[string]TenantLoad{"only": {Waiting: 20, InFlight: 4, Weight: 1}},
+	})
+	if shed != nil {
+		t.Fatalf("lone tenant shed %v; backpressure should come from the queue", shed)
+	}
+}
+
+func TestErrOverloadedAsTarget(t *testing.T) {
+	var err error = &ErrOverloaded{Tenant: "a", Cause: CauseShed, RetryAfter: time.Second}
+	var o *ErrOverloaded
+	if !errors.As(err, &o) {
+		t.Fatal("errors.As failed")
+	}
+	if o.Tenant != "a" || o.Cause != CauseShed || o.RetryAfter != time.Second {
+		t.Fatalf("round-trip mismatch: %+v", o)
+	}
+	if o.Error() == "" || CauseAdmission.String() != "admission" || CauseShed.String() != "shed" {
+		t.Fatal("string forms")
+	}
+}

@@ -1,0 +1,132 @@
+package qos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func cfgWith(tenants map[string]Tenant) *Config {
+	c := Config{Tenants: tenants}.WithDefaults(8)
+	return &c
+}
+
+func TestLimiterUnlimitedByDefault(t *testing.T) {
+	l := NewLimiter(cfgWith(nil))
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow(time.Duration(i), "anyone"); !ok {
+			t.Fatalf("unlimited tenant refused at %d", i)
+		}
+	}
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l := NewLimiter(cfgWith(map[string]Tenant{
+		"a": {Rate: 10, Burst: 3},
+	}))
+	at := time.Second
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow(at, "a"); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry := l.Allow(at, "a")
+	if ok {
+		t.Fatal("admitted past burst with no refill")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry-after = %v, want (0, 100ms] at 10 req/s", retry)
+	}
+	// One token accrues every 100 ms.
+	if ok, _ := l.Allow(at+100*time.Millisecond, "a"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := l.Allow(at+100*time.Millisecond, "a"); ok {
+		t.Fatal("second token admitted before it accrued")
+	}
+}
+
+func TestLimiterBurstCapsRefill(t *testing.T) {
+	l := NewLimiter(cfgWith(map[string]Tenant{
+		"a": {Rate: 100, Burst: 2},
+	}))
+	if ok, _ := l.Allow(0, "a"); !ok {
+		t.Fatal("first token refused")
+	}
+	// A long idle gap must not accumulate more than Burst tokens.
+	at := time.Hour
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow(at, "a"); !ok {
+			t.Fatalf("token %d after idle refused", i)
+		}
+	}
+	if ok, _ := l.Allow(at, "a"); ok {
+		t.Fatal("idle gap accrued past the burst cap")
+	}
+}
+
+func TestLimiterBackwardsTimestampRefillsNothing(t *testing.T) {
+	l := NewLimiter(cfgWith(map[string]Tenant{
+		"a": {Rate: 1, Burst: 1},
+	}))
+	if ok, _ := l.Allow(time.Second, "a"); !ok {
+		t.Fatal("burst token refused")
+	}
+	// A concurrent caller's slightly older wall reading must not refill.
+	if ok, _ := l.Allow(500*time.Millisecond, "a"); ok {
+		t.Fatal("backwards timestamp refilled a token")
+	}
+}
+
+func TestLimiterTenantsIndependent(t *testing.T) {
+	l := NewLimiter(cfgWith(map[string]Tenant{
+		"limited": {Rate: 1, Burst: 1},
+	}))
+	if ok, _ := l.Allow(0, "limited"); !ok {
+		t.Fatal("limited tenant's burst refused")
+	}
+	if ok, _ := l.Allow(0, "limited"); ok {
+		t.Fatal("limited tenant over-admitted")
+	}
+	// Unlisted tenants fall back to the (unlimited) default envelope.
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow(0, "other"); !ok {
+			t.Fatal("default-envelope tenant refused")
+		}
+	}
+}
+
+func TestLimiterConcurrentTenantsExactBudget(t *testing.T) {
+	const tenants, budget = 8, 50
+	specs := map[string]Tenant{}
+	for i := 0; i < tenants; i++ {
+		specs[fmt.Sprintf("t%d", i)] = Tenant{Rate: 0.001, Burst: budget}
+	}
+	l := NewLimiter(cfgWith(specs))
+	var wg sync.WaitGroup
+	admitted := make([]int64, tenants)
+	for i := 0; i < tenants; i++ {
+		for g := 0; g < 4; g++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				name := fmt.Sprintf("t%d", i)
+				for n := 0; n < budget; n++ {
+					if ok, _ := l.Allow(time.Millisecond, name); ok {
+						// Racing goroutines of one tenant share its budget.
+						atomic.AddInt64(&admitted[i], 1)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for i, got := range admitted {
+		if got != budget {
+			t.Fatalf("tenant %d admitted %d, want exactly %d", i, got, budget)
+		}
+	}
+}

@@ -28,25 +28,19 @@ func (s *Sim) RunOne() *Result {
 	return s.result(s.makespan())
 }
 
-// openLoop is the shared asynchronous arrival driver: count requests at
-// the given aggregate rate (requests per minute, exponential inter-arrival
-// times capped at 4x the mean), each invoking pick(i)'s workflow, run to
-// completion. Cold-start transients are excluded from the latency sample
-// (the paper's figures report steady-state latencies).
-func (s *Sim) openLoop(rpm float64, count int, pick func(i int) *workloads.Profile) *Result {
-	if rpm <= 0 || count <= 0 {
-		return s.result(0)
-	}
+// openLoopGen launches one open-loop arrival generator process: count
+// requests at the given rate (requests per minute, exponential
+// inter-arrival gaps capped at 4x the mean — the shared arrival
+// discipline), each invoking pick(i)'s workflow under the given tenant in
+// its own request process. pick runs in the generator (its randomness
+// draws stay in arrival order).
+func (s *Sim) openLoopGen(name string, rpm float64, count int, pick func(i int) *workloads.Profile, tenant string) {
 	meanGap := time.Duration(60 / rpm * float64(time.Second))
-	s.warmupSeq = int64(count / 5)
-	if s.warmupSeq > 12 {
-		s.warmupSeq = 12
-	}
-	s.env.Go("loadgen", func(p *sim.Proc) {
+	s.env.Go(name, func(p *sim.Proc) {
 		for i := 0; i < count; i++ {
 			prof := pick(i)
 			s.env.Go("req", func(rp *sim.Proc) {
-				req := s.invoke(rp, prof)
+				req := s.invokeTenant(rp, prof, tenant)
 				rp.Wait(req.done)
 			})
 			gap := time.Duration(s.env.Rand().ExpFloat64() * float64(meanGap))
@@ -56,6 +50,20 @@ func (s *Sim) openLoop(rpm float64, count int, pick func(i int) *workloads.Profi
 			p.Sleep(gap)
 		}
 	})
+}
+
+// openLoop is the shared asynchronous arrival driver: one untagged
+// generator, run to completion. Cold-start transients are excluded from
+// the latency sample (the paper's figures report steady-state latencies).
+func (s *Sim) openLoop(rpm float64, count int, pick func(i int) *workloads.Profile) *Result {
+	if rpm <= 0 || count <= 0 {
+		return s.result(0)
+	}
+	s.warmupSeq = int64(count / 5)
+	if s.warmupSeq > 12 {
+		s.warmupSeq = 12
+	}
+	s.openLoopGen("loadgen", rpm, count, pick, "")
 	s.env.Run()
 	return s.result(s.makespan())
 }
@@ -82,6 +90,46 @@ func (s *Sim) RunSkewedOpenLoop(rpm float64, count int, skew float64) *Result {
 	return s.openLoop(rpm, count, func(int) *workloads.Profile {
 		return s.profs[int(zipf.Uint64())]
 	})
+}
+
+// RunTenantOpenLoop drives one open-loop arrival stream per tenant against
+// the primary profile: rpmByTenant maps tenant id to its arrival rate and
+// countByTenant to its request count (tenants missing a count issue
+// nothing). Arrivals use the same exponential inter-arrival discipline as
+// RunOpenLoop; each request is tenant-attributed, so with Config.QoS set it
+// passes per-tenant admission and the weighted-fair queue, and the Result's
+// Tenants map reports each tenant's shed counts, latency and goodput. This
+// is the multi-tenant overload workload the admission plane exists for: a
+// hot tenant driving far past its share while a well-behaved one expects
+// its solo latency.
+func (s *Sim) RunTenantOpenLoop(rpmByTenant map[string]float64, countByTenant map[string]int) *Result {
+	tenants := make([]string, 0, len(rpmByTenant))
+	total := 0
+	for tenant := range rpmByTenant {
+		tenants = append(tenants, tenant)
+		if rpmByTenant[tenant] > 0 {
+			total += countByTenant[tenant]
+		}
+	}
+	sort.Strings(tenants) // deterministic generator launch order
+	// The global latency sample follows openLoop's steady-state discipline
+	// (cold-start transients excluded); the per-tenant samples in
+	// Result.Tenants keep the full distribution, so tenant-to-tenant
+	// comparisons are consistently full-tail on both sides.
+	s.warmupSeq = int64(total / 5)
+	if s.warmupSeq > 12 {
+		s.warmupSeq = 12
+	}
+	for _, tenant := range tenants {
+		rpm, count := rpmByTenant[tenant], countByTenant[tenant]
+		if rpm <= 0 || count <= 0 {
+			continue
+		}
+		s.openLoopGen("loadgen-"+tenant, rpm, count,
+			func(int) *workloads.Profile { return s.cfg.Profile }, tenant)
+	}
+	s.env.Run()
+	return s.result(s.makespan())
 }
 
 // RunBurst generates a low load followed by a sudden burst (§9.5: wc jumps
@@ -147,20 +195,8 @@ func (s *Sim) RunColocatedOpenLoop(rpmByName map[string]float64, defaultRPM floa
 		if rpm <= 0 {
 			continue
 		}
-		meanGap := time.Duration(60 / rpm * float64(time.Second))
-		s.env.Go("loadgen-"+prof.Name, func(p *sim.Proc) {
-			for i := 0; i < countPerWorkflow; i++ {
-				s.env.Go("req", func(rp *sim.Proc) {
-					req := s.invoke(rp, prof)
-					rp.Wait(req.done)
-				})
-				gap := time.Duration(s.env.Rand().ExpFloat64() * float64(meanGap))
-				if gap > 4*meanGap {
-					gap = 4 * meanGap
-				}
-				p.Sleep(gap)
-			}
-		})
+		s.openLoopGen("loadgen-"+prof.Name, rpm, countPerWorkflow,
+			func(int) *workloads.Profile { return prof }, "")
 	}
 	s.env.Run()
 	return s.result(s.makespan())
@@ -199,6 +235,7 @@ func (s *Sim) result(horizon time.Duration) *Result {
 	res.Recovered = s.recoveries
 	res.RecoveryLat = s.recoveryLat
 	res.Replays = s.replays
+	res.Tenants = s.tenantResults(horizon)
 	if horizon > 0 {
 		res.ThroughputRPM = float64(s.completed) / horizon.Minutes()
 	}

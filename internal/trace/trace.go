@@ -28,6 +28,10 @@ const (
 	// Replay marks a fault-tolerance recovery action: a request's route pin
 	// was repaired off a dead node and lost data was re-shipped there.
 	Replay
+	// Shed marks an invocation refused by the admission & QoS plane (token
+	// bucket empty or governor shedding); Note carries the tenant and cause.
+	// No request id was assigned — the request never entered the engine.
+	Shed
 )
 
 // String names the kind.
@@ -35,7 +39,7 @@ func (k Kind) String() string {
 	names := [...]string{
 		"req-arrived", "ready", "triggered", "started", "finished",
 		"data-sent", "data-arrived", "container-cold", "req-completed",
-		"replay",
+		"replay", "shed",
 	}
 	if int(k) < len(names) {
 		return names[k]
