@@ -7,6 +7,11 @@
 //
 //	benchgate -parse bench.txt -out summary.json
 //	benchgate -compare -current fresh.json [-baseline BENCH_PR4.json] [-max-drop 0.25]
+//	benchgate -list [-baseline BENCH_PR4.json] [-max-drop 0.25]
+//
+// -list prints the gate's contract — every gated benchmark with its
+// baseline throughput and the floor below which CI fails — so the
+// thresholds are inspectable without reading the workflow YAML.
 //
 // -baseline defaults to the repository's committed baseline
 // (DefaultBaseline); CI passes it explicitly, so re-baselining a future PR
@@ -22,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -50,12 +56,19 @@ func main() {
 	parse := flag.String("parse", "", "go test -bench output file to parse")
 	out := flag.String("out", "", "JSON summary to write (with -parse)")
 	compare := flag.Bool("compare", false, "compare -current against -baseline")
+	list := flag.Bool("list", false, "print the gated benchmarks and their thresholds")
 	baseline := flag.String("baseline", DefaultBaseline, "committed baseline JSON")
 	current := flag.String("current", "", "freshly measured JSON")
 	maxDrop := flag.Float64("max-drop", 0.25, "max tolerated throughput drop (fraction)")
 	flag.Parse()
 
 	switch {
+	case *list:
+		base, err := readJSON(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		listGate(os.Stdout, *baseline, base, *maxDrop)
 	case *parse != "" && *out != "":
 		sum, err := parseFile(*parse)
 		if err != nil {
@@ -151,6 +164,25 @@ func parseLine(line string) (string, float64, bool) {
 		}
 	}
 	return "", 0, false
+}
+
+// listGate prints the gate's contract: one line per gated benchmark with
+// its baseline throughput and the minimum throughput CI accepts.
+func listGate(w io.Writer, baselinePath string, base *Summary, maxDrop float64) {
+	fmt.Fprintf(w, "benchgate contract: baseline %s, max throughput drop %.0f%%\n",
+		baselinePath, maxDrop*100)
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		fmt.Fprintf(w, "%-60s baseline %14.1f ops/s  floor %14.1f ops/s\n",
+			name, b.OpsPerSec, b.OpsPerSec*(1-maxDrop))
+	}
+	fmt.Fprintf(w, "%d benchmarks gated; a run below its floor (or missing) fails CI\n",
+		len(names))
 }
 
 // compareSummaries lists every benchmark whose current throughput dropped

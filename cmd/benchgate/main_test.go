@@ -115,3 +115,39 @@ func TestDefaultBaselineMatchesCommittedFile(t *testing.T) {
 		t.Fatalf("committed baseline missing: %v", err)
 	}
 }
+
+func TestListPrintsGateContract(t *testing.T) {
+	base := &Summary{Schema: schema, Benchmarks: map[string]Bench{
+		"BenchmarkB": {NsPerOp: 200, OpsPerSec: 5e6},
+		"BenchmarkA": {NsPerOp: 100, OpsPerSec: 1e7},
+	}}
+	var buf strings.Builder
+	listGate(&buf, "BASE.json", base, 0.25)
+	out := buf.String()
+	for _, want := range []string{
+		"baseline BASE.json, max throughput drop 25%",
+		"BenchmarkA", "BenchmarkB",
+		"7500000.0 ops/s", // A's floor: 1e7 * (1 - 0.25)
+		"2 benchmarks gated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+	// Names print in sorted order so the contract diffs cleanly.
+	if strings.Index(out, "BenchmarkA") > strings.Index(out, "BenchmarkB") {
+		t.Fatalf("-list output not sorted:\n%s", out)
+	}
+}
+
+func TestListAcceptsCommittedBaseline(t *testing.T) {
+	base, err := readJSON(filepath.Join("..", "..", DefaultBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	listGate(&buf, DefaultBaseline, base, 0.25)
+	if !strings.Contains(buf.String(), "BenchmarkInvokeThroughput/goroutines=16") {
+		t.Fatalf("committed gate contract lacks the throughput benchmark:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,18 @@
+// Command repolint runs the repository's invariant analyzers (see
+// internal/analysis). It speaks the `go vet -vettool=` protocol and also
+// accepts package patterns directly:
+//
+//	go build -o /tmp/repolint ./cmd/repolint
+//	go vet -vettool=/tmp/repolint ./...
+//
+//	go run ./cmd/repolint ./...
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/repolint"
+)
+
+func main() {
+	analysis.Main(repolint.Analyzers...)
+}

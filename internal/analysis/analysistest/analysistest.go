@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want "regex" expectations embedded in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the quoted regexes from a want comment; both
+// double-quoted and backquoted forms are accepted.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the fixture directory as importPath (path-sensitive
+// analyzers — wallclock's internal/clock carve-out — are exercised by
+// varying it), runs the analyzer through the full RunAnalyzers pipeline
+// (so //repolint:ignore handling is part of what fixtures can assert),
+// and matches diagnostics against // want expectations. deps names the
+// import paths the fixture files use; their export data is resolved from
+// the local build cache.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string, deps ...string) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	pkg, err := analysis.CheckSource(importPath, dir, goFiles, deps)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	expectations := collectWants(t, pkg)
+	diags := analysis.RunAnalyzers(&pkg.Unit, []*analysis.Analyzer{a})
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		file := filepath.Base(pos.Filename)
+		matched := false
+		for _, exp := range expectations {
+			if exp.matched || exp.file != file || exp.line != pos.Line {
+				continue
+			}
+			if exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", file, pos.Line, d.Message)
+		}
+	}
+	for _, exp := range expectations {
+		if !exp.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", exp.file, exp.line, exp.re)
+		}
+	}
+}
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, pkg *analysis.LoadedPackage) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRE.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", filepath.Base(pos.Filename), pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", filepath.Base(pos.Filename), pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filepath.Base(pos.Filename), pos.Line, pattern, err)
+					}
+					out = append(out, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

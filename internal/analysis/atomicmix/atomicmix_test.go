@@ -1,0 +1,14 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer,
+		filepath.Join("testdata", "flagged"), "repro/internal/ctrfake", "sync/atomic")
+}

@@ -1,0 +1,61 @@
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+	plain  int64
+	state  atomic.Int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreInt64(&c.misses, 0)
+}
+
+func (c *counter) readRaces() int64 {
+	return c.hits // want `field hits is accessed via sync/atomic elsewhere`
+}
+
+func (c *counter) writeRaces() {
+	c.misses = 0 // want `field misses is accessed via sync/atomic elsewhere`
+}
+
+// Consistent atomic access is fine.
+func (c *counter) readOK() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// A field never touched atomically may be used plainly.
+func (c *counter) plainOK() int64 {
+	c.plain++
+	return c.plain
+}
+
+// Constructors initialize before the value is published.
+func newCounter() *counter {
+	c := &counter{}
+	c.hits = 0
+	return c
+}
+
+// Handing out the address delegates atomicity to the callee.
+func (c *counter) addrOK() *int64 {
+	return &c.hits
+}
+
+// atomic.* typed fields must go through their methods.
+func (c *counter) copyRaces() int64 {
+	s := c.state // want `atomic-typed field state must be used via its methods`
+	return s.Load()
+}
+
+func (c *counter) methodsOK() int64 {
+	c.state.Store(4)
+	return c.state.Load()
+}
+
+func (c *counter) suppressed() int64 {
+	return c.hits //repolint:ignore atomicmix read is under the table's writer lock
+}

@@ -1,0 +1,299 @@
+// Package lockheld flags blocking operations performed while a mutex
+// acquired in the same function is still held.
+//
+// The dluEnqueue/Shutdown race family from PR 2: a goroutine that sends on
+// a channel (or waits, or does blocking I/O) while holding a sync.Mutex
+// can deadlock against the shutdown path that needs the same lock to close
+// the channel. The repo's convention is to capture state under the lock,
+// unlock, then block; the one place where the send must stay under the
+// lock (the cluster DLU close protocol) carries a justified suppression.
+//
+// The analysis is statement-linear per function, not a full CFG: a lock is
+// considered held from the x.Lock() call until the matching x.Unlock() in
+// straight-line order, and `defer x.Unlock()` holds the lock for the rest
+// of the function (that is precisely the case the convention exists for).
+// Branch bodies inherit a copy of the held set. Function literals start
+// with an empty held set: they execute later, and `go`-launched bodies
+// concurrently. sync.Cond.Wait is allowed (it requires the lock by
+// contract), as are close() and selects with a default clause
+// (non-blocking by construction).
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "flag channel ops, waits and blocking I/O under a held mutex\n\n" +
+		"Blocking while holding a sync.Mutex/RWMutex acquired in the same\n" +
+		"function risks deadlock against paths that need the lock to make\n" +
+		"the blocking operation complete (the PR 2 shutdown race family).\n" +
+		"Capture state under the lock, unlock, then block.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &walker{pass: pass}
+				w.stmts(fd.Body.List, held{})
+			}
+		}
+	}
+	return nil
+}
+
+// held maps a mutex expression (by source text, e.g. "s.mu") to the
+// position where it was locked.
+type held map[string]token.Pos
+
+func (h held) copied() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks a statement sequence, threading the held-lock set through it.
+func (w *walker) stmts(list []ast.Stmt, h held) {
+	for _, s := range list {
+		w.stmt(s, h)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, h held) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, locked := w.lockOp(s.X); key != "" {
+			if locked {
+				h[key] = s.Pos()
+			} else {
+				delete(h, key)
+			}
+			return
+		}
+		w.expr(s.X, h)
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock held for the rest of the
+		// function — exactly the region the analyzer must keep checking.
+		// Other deferred calls run at return; their bodies are walked as
+		// function values when they are literals.
+		if _, isLock := w.lockOp(s.Call); !isLock {
+			w.expr(s.Call.Fun, h)
+			for _, a := range s.Call.Args {
+				w.expr(a, h)
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned body runs concurrently with its own (empty) held set;
+		// launching it does not block.
+		w.expr(s.Call.Fun, held{})
+		for _, a := range s.Call.Args {
+			w.expr(a, h)
+		}
+	case *ast.SendStmt:
+		if len(h) > 0 {
+			w.reportBlocked(s.Pos(), "channel send", h)
+		}
+		w.expr(s.Value, h)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, h)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, h)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, h)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, h)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		w.expr(s.Cond, h)
+		w.stmts(s.Body.List, h.copied())
+		if s.Else != nil {
+			w.stmt(s.Else, h.copied())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, h)
+		}
+		body := h.copied()
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, h)
+		w.stmts(s.Body.List, h.copied())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, h)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, h.copied())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, h.copied())
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(h) > 0 {
+			w.reportBlocked(s.Pos(), "select without default", h)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, h.copied())
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, h)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, h)
+	}
+}
+
+// expr scans an expression for blocking operations under the held set and
+// walks nested function literals with a fresh one.
+func (w *walker) expr(e ast.Expr, h held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, held{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(h) > 0 {
+				w.reportBlocked(n.Pos(), "channel receive", h)
+			}
+		case *ast.CallExpr:
+			if len(h) == 0 {
+				return true
+			}
+			if op := w.blockingCall(n); op != "" {
+				w.reportBlocked(n.Pos(), op, h)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes x.Lock()/x.RLock() (locked=true) and
+// x.Unlock()/x.RUnlock() (locked=false) on sync mutexes, returning the
+// source text of x as the held-set key ("" if e is no lock operation).
+func (w *walker) lockOp(e ast.Expr) (key string, locked bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false
+	}
+	return "", false
+}
+
+// blockingCall classifies a call as blocking: WaitGroup.Wait and
+// read/write-style methods on os and net types (file and socket I/O).
+// sync.Cond.Wait is exempt — it requires the caller to hold the lock.
+func (w *walker) blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		// Package-level: dialing opens sockets, a canonical slow call.
+		if fn.Pkg().Path() == "net" {
+			return "net." + fn.Name() + " call"
+		}
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	pkg := named.Obj().Pkg().Path()
+	if pkg == "sync" && fn.Name() == "Wait" && named.Obj().Name() == "WaitGroup" {
+		return "WaitGroup.Wait"
+	}
+	if pkg == "os" || pkg == "net" {
+		switch fn.Name() {
+		case "Read", "Write", "ReadFrom", "WriteTo", "WriteString", "Sync", "Accept", "ReadAt", "WriteAt":
+			return "blocking " + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+func (w *walker) reportBlocked(pos token.Pos, op string, h held) {
+	// Name one held lock deterministically (the smallest key) so the
+	// message is stable across runs.
+	var key string
+	for k := range h {
+		if key == "" || k < key {
+			key = k
+		}
+	}
+	w.pass.Reportf(pos, "%s while %s is held (locked at %s); capture state, unlock, then block",
+		op, key, w.pass.Fset.Position(h[key]))
+}

@@ -1,0 +1,14 @@
+package lockheld_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer,
+		filepath.Join("testdata", "flagged"), "repro/internal/quefake", "sync", "os")
+}

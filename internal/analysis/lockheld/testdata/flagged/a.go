@@ -1,0 +1,119 @@
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type q struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	wg   sync.WaitGroup
+	f    *os.File
+}
+
+func (s *q) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *q) sendUnderDeferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+}
+
+func (s *q) recvUnderReadLock() int {
+	s.rw.RLock()
+	v := <-s.ch // want `channel receive while s\.rw is held`
+	s.rw.RUnlock()
+	return v
+}
+
+func (s *q) waitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want `WaitGroup\.Wait while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *q) blockingSelectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while s\.mu is held`
+	case s.ch <- 1:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *q) ioUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.f.Write([]byte("x")) // want `blocking File\.Write while s\.mu is held`
+}
+
+// The convention the analyzer enforces: capture under the lock, unlock,
+// then block.
+func (s *q) sendAfterUnlock() {
+	s.mu.Lock()
+	pending := len(s.ch)
+	s.mu.Unlock()
+	if pending == 0 {
+		s.ch <- 1
+	}
+}
+
+// close never blocks.
+func (s *q) closeUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	close(s.ch)
+}
+
+// A select with a default clause is non-blocking by construction.
+func (s *q) nonBlockingSelectUnderLock() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// sync.Cond.Wait requires holding the lock by contract.
+func (s *q) condWaitUnderLock() {
+	s.mu.Lock()
+	for len(s.ch) == 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// A spawned goroutine body runs with its own lock discipline.
+func (s *q) spawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// A function literal built under the lock executes later.
+func (s *q) literalUnderLock() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.ch <- 1
+	}
+}
+
+func (s *q) suppressed() {
+	s.mu.Lock()
+	s.ch <- 1 //repolint:ignore lockheld the close protocol needs the send under the lock
+	s.mu.Unlock()
+}

@@ -1,0 +1,106 @@
+// Package planegate enforces nil-receiver gates on optional-plane entry
+// points.
+//
+// Optional planes (internal/qos since PR 5) follow a byte-identical-when-
+// disabled contract: when the plane is not configured, its objects are nil
+// and the engine's behavior — and allocation profile — must be exactly as
+// if the plane did not exist. That only works if every exported method a
+// caller can reach on a nil plane object answers the neutral value instead
+// of dereferencing. Packages opt in with a //repolint:plane pragma; in
+// them, every exported pointer-receiver method (except the Error/String
+// diagnostics pair) must begin with a nil-receiver gate:
+//
+//	func (l *Limiter) Allow(now int64) (bool, int64) {
+//		if l == nil {
+//			return true, 0
+//		}
+//		...
+//	}
+package planegate
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "planegate",
+	Doc: "flag exported plane methods without a nil-receiver gate\n\n" +
+		"In packages carrying //repolint:plane, exported pointer-receiver\n" +
+		"methods must open with `if <recv> == nil { ... }` so a disabled\n" +
+		"(nil) plane stays behaviorally inert — the byte-identical-when-\n" +
+		"disabled contract.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageHasPragma(pass.Files, "plane") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if !fd.Name.IsExported() || fd.Name.Name == "Error" || fd.Name.Name == "String" {
+				continue
+			}
+			if _, isPtr := fd.Recv.List[0].Type.(*ast.StarExpr); !isPtr {
+				continue // value receivers cannot be nil
+			}
+			recvName := receiverName(fd)
+			if recvName == "" || recvName == "_" {
+				continue // body cannot dereference an unnamed receiver
+			}
+			if opensWithNilGate(fd.Body, recvName) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported plane method %s must begin with a nil-receiver gate (if %s == nil) so a disabled plane stays inert",
+				fd.Name.Name, recvName)
+		}
+	}
+	return nil
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0].Name
+}
+
+// opensWithNilGate reports whether the function's first statement is an if
+// whose condition tests the receiver against nil (possibly inside a
+// ||/&& combination).
+func opensWithNilGate(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			return !found
+		}
+		if isIdent(bin.X, recvName) && isIdent(bin.Y, "nil") ||
+			isIdent(bin.Y, recvName) && isIdent(bin.X, "nil") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,19 @@
+package planegate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/planegate"
+)
+
+func TestPlanegateFlagsUngatedMethods(t *testing.T) {
+	analysistest.Run(t, planegate.Analyzer,
+		filepath.Join("testdata", "plane"), "repro/internal/planefake")
+}
+
+func TestPlanegateIgnoresUnmarkedPackages(t *testing.T) {
+	analysistest.Run(t, planegate.Analyzer,
+		filepath.Join("testdata", "noplane"), "repro/internal/tablefake")
+}

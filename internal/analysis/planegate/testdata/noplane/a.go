@@ -1,0 +1,6 @@
+package a
+
+// No //repolint:plane pragma: ordinary packages owe no nil gates.
+type Table struct{ n int }
+
+func (t *Table) Len() int { return t.n }

@@ -1,0 +1,44 @@
+//repolint:plane
+package a
+
+type Limiter struct {
+	capacity int
+}
+
+func (l *Limiter) Allow() bool { // want `exported plane method Allow must begin with a nil-receiver gate`
+	return l.capacity > 0
+}
+
+func (l *Limiter) Tokens() int {
+	if l == nil {
+		return 0
+	}
+	return l.capacity
+}
+
+// A gate combined with other conditions still counts.
+func (l *Limiter) Waiting() int {
+	if l == nil || l.capacity == 0 {
+		return 0
+	}
+	return 1
+}
+
+// Value receivers cannot be nil.
+type Spec struct{ N int }
+
+func (s Spec) Norm() int { return s.N }
+
+// Error/String are exempt diagnostics plumbing.
+type PlaneError struct{ msg string }
+
+func (e *PlaneError) Error() string { return e.msg }
+
+func (l *Limiter) String() string { return "limiter" }
+
+// Unexported methods sit behind already-gated entry points.
+func (l *Limiter) refill() { l.capacity++ }
+
+func (l *Limiter) Capacity() int { //repolint:ignore planegate only reachable from Acquire, which gates
+	return l.capacity
+}

@@ -1,0 +1,23 @@
+// Package repolint registers the repository's analyzer suite. It exists
+// separately from internal/analysis so the framework does not import the
+// analyzers (which import the framework), and so cmd/repolint and the
+// tree-wide regression test share one canonical list.
+package repolint
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/lockheld"
+	"repro/internal/analysis/planegate"
+	"repro/internal/analysis/tracegate"
+	"repro/internal/analysis/wallclock"
+)
+
+// Analyzers is the suite cmd/repolint runs, in diagnostic-name order.
+var Analyzers = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	lockheld.Analyzer,
+	planegate.Analyzer,
+	tracegate.Analyzer,
+	wallclock.Analyzer,
+}

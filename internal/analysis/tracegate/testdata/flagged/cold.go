@@ -1,0 +1,9 @@
+package a
+
+import "fmt"
+
+// No //repolint:hotpath pragma: this file is off the budget and may
+// format freely.
+func coldFileFormatting(key string) string {
+	return fmt.Sprintf("report for %s", key) + "\n"
+}

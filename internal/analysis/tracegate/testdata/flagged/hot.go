@@ -1,0 +1,67 @@
+//repolint:hotpath
+package a
+
+import "fmt"
+
+type config struct {
+	Trace func(string)
+}
+
+type invocation struct{}
+
+func (i *invocation) fail(err error) {}
+
+func ungated(c *config, key string, n int) string {
+	s := fmt.Sprintf("key=%s n=%d", key, n) // want `fmt\.Sprintf allocates on a declared hot-path file`
+	s += key + "!"                          // want `string concatenation allocates on a declared hot-path file`
+	return s
+}
+
+func ungatedErrorf(n int) {
+	err := fmt.Errorf("attempt %d", n) // want `fmt\.Errorf allocates on a declared hot-path file`
+	_ = err
+}
+
+// The repo's gating idiom: zero-cost when tracing is disabled.
+func gated(c *config, key string) {
+	if c.Trace != nil {
+		c.Trace(fmt.Sprintf("ship key=%s", key))
+		c.Trace("land " + key)
+	}
+}
+
+func gatedByInjector(c *config, key string) {
+	injecting := c.Trace != nil
+	if injecting {
+		c.Trace("inject " + key)
+	}
+}
+
+// Error construction that exits immediately is cold.
+func coldReturn(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative budget %d", n)
+	}
+	return nil
+}
+
+func coldFail(i *invocation, n int) {
+	if n < 0 {
+		i.fail(fmt.Errorf("negative budget %d", n))
+	}
+}
+
+// Compile-time folded concatenation costs nothing at runtime.
+func constConcat() string {
+	return "ship" + "/" + "land"
+}
+
+// Only the outermost concat of a chain is reported.
+func chain(a, b string) string {
+	s := a + b + "suffix" // want `string concatenation allocates on a declared hot-path file`
+	return s
+}
+
+func suppressed(key string) string {
+	return "cold-start:" + key //repolint:ignore tracegate runs once per container boot, not per request
+}

@@ -1,0 +1,159 @@
+// Package tracegate protects the hot-path allocation budget from
+// formatting calls.
+//
+// The invoke path holds a ~30 allocs/req budget (PR 1's record run depends
+// on it); fmt.Sprintf, fmt.Errorf and non-constant string concatenation
+// each allocate even when the result is discarded. Files on the budget
+// opt in with a //repolint:hotpath pragma; inside them, formatting must be
+// dominated by a trace/injector guard (the repo idiom `if s.cfg.Trace !=
+// nil { ... }` — zero cost when disabled) or sit on a cold error path
+// (an expression returned directly or handed to a fail()/panic call).
+package tracegate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tracegate",
+	Doc: "flag ungated formatting in declared hot-path files\n\n" +
+		"In files carrying //repolint:hotpath, fmt.Sprintf/Errorf/Sprint\n" +
+		"and non-constant string concatenation must be dominated by a\n" +
+		"trace/injector guard or flow straight into an error return,\n" +
+		"protecting the per-request allocation budget.",
+	Run: run,
+}
+
+var formatFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Errorf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if !analysis.FileHasPragma(f, "hotpath") {
+			continue
+		}
+		analysis.Inspect(f, func(n ast.Node, path []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				name := fmtFormatCall(pass, n)
+				if name == "" {
+					return true
+				}
+				if guarded(pass, path) {
+					return true
+				}
+				if name == "Errorf" && coldPath(path) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "fmt.%s allocates on a declared hot-path file; gate it behind a trace/injector guard or move it off the hot path", name)
+			case *ast.BinaryExpr:
+				if !isNonConstStringConcat(pass, n) {
+					return true
+				}
+				// ((a+b)+c): report only the outermost concat of a chain.
+				if len(path) > 0 {
+					if parent, ok := path[len(path)-1].(*ast.BinaryExpr); ok && isNonConstStringConcat(pass, parent) {
+						return true
+					}
+				}
+				if guarded(pass, path) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "string concatenation allocates on a declared hot-path file; gate it behind a trace/injector guard or build the key with the preallocated writer")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fmtFormatCall returns the fmt formatting function the call targets
+// (Sprintf, Errorf, ...) or "".
+func fmtFormatCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || !formatFuncs[fn.Name()] {
+		return ""
+	}
+	return fn.Name()
+}
+
+// isNonConstStringConcat reports whether e is a + over strings that is not
+// folded at compile time.
+func isNonConstStringConcat(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	if e.Op != token.ADD {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// guarded reports whether the node sits in the body of an if whose
+// condition mentions a trace/injector identifier — the repo's
+// zero-cost-when-disabled gating idiom.
+func guarded(pass *analysis.Pass, path []ast.Node) bool {
+	for i, anc := range path {
+		ifStmt, ok := anc.(*ast.IfStmt)
+		if !ok || i+1 >= len(path) || path[i+1] != ast.Node(ifStmt.Body) {
+			continue
+		}
+		if condMentionsGuard(ifStmt.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+func condMentionsGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			lower := strings.ToLower(id.Name)
+			if strings.Contains(lower, "trace") || strings.Contains(lower, "inject") {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// coldPath reports whether the expression flows straight into an error
+// exit: a return statement, or a call to a fail()/panic sink.
+func coldPath(path []ast.Node) bool {
+	for _, anc := range path {
+		switch anc := anc.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			switch fun := anc.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "panic" || strings.HasPrefix(fun.Name, "fail") {
+					return true
+				}
+			case *ast.SelectorExpr:
+				if strings.HasPrefix(fun.Sel.Name, "fail") || strings.HasPrefix(fun.Sel.Name, "Fail") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package tracegate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tracegate"
+)
+
+func TestTracegate(t *testing.T) {
+	analysistest.Run(t, tracegate.Analyzer,
+		filepath.Join("testdata", "flagged"), "repro/internal/hotfake", "fmt")
+}

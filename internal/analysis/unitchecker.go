@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements the driver protocol `go vet -vettool=` speaks, plus
+// a standalone package-pattern mode, so one binary (cmd/repolint) serves
+// both:
+//
+//	repolint ./...                      # standalone: loads via `go list`
+//	go vet -vettool=$(which repolint) ./...   # unit-checker protocol
+//
+// The vet protocol requires three behaviors of the tool:
+//
+//	-V=full     print an executable fingerprint for the build cache
+//	-flags      describe the tool's flags as JSON
+//	foo.cfg     analyze the single package unit described by the JSON
+//	            config file, written by the go command
+//
+// The suite defines no cross-package facts, so dependency units
+// (VetxOnly: true) only need their facts file written — analysis is
+// skipped — and the per-unit type-check resolves every import from the
+// compiled export data the go command already lists in PackageFile.
+
+// vetConfig mirrors the JSON config the go command writes for each unit.
+// Field names must match; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// versionFlag implements -V=full: the go command fingerprints the tool
+// binary to key its build cache. The output format follows the x/tools
+// unitchecker convention the go command parses.
+type versionFlag struct{}
+
+func (versionFlag) String() string { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", exe, h.Sum(nil)[:16])
+	os.Exit(0)
+	return nil
+}
+
+// Main is the shared entry point for cmd/repolint: it dispatches between
+// the vet-tool protocol and standalone package patterns. Never returns.
+func Main(analyzers ...*Analyzer) {
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printFlags := flag.Bool("flags", false, "print flags as JSON and exit (vet protocol)")
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = flag.Bool(a.Name, false, doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-%s] [package pattern ... | unit.cfg]\n",
+			os.Args[0], strings.Join(analyzerNames(analyzers), "] [-"))
+		fmt.Fprintf(os.Stderr, "analyzers (all run unless some are selected):\n")
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, doc)
+		}
+	}
+	flag.Parse()
+
+	if *printFlags {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		os.Exit(0)
+	}
+
+	run := analyzers
+	var picked []*Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			picked = append(picked, a)
+		}
+	}
+	if len(picked) > 0 {
+		run = picked
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], run))
+	}
+	os.Exit(runStandalone(args, run))
+}
+
+func analyzerNames(analyzers []*Analyzer) []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// runStandalone loads the patterns with `go list` and analyzes every
+// matched package. Returns the process exit code.
+func runStandalone(patterns []string, analyzers []*Analyzer) int {
+	pkgs, err := Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	exit := 0
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "repolint: %s: type error: %v\n", p.ImportPath, terr)
+			exit = 2
+		}
+		for _, d := range RunAnalyzers(&p.Unit, analyzers) {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// runUnit analyzes the single unit described by a go vet config file.
+// Returns the process exit code (0 clean, 2 findings, 1 driver error).
+func runUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite defines no facts, but the protocol requires the facts file
+	// to exist for downstream units that list this one in PackageVetx.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 || pkg == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, err := range typeErrs {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+		}
+		return 1
+	}
+
+	unit := &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags := RunAnalyzers(unit, analyzers)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,10 @@
+package a
+
+import "time"
+
+// Checked once as repro/internal/clock (the wrapping package) and once as
+// a cmd/ path: neither may be flagged.
+func readClock() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,32 @@
+package a
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep reads the wall clock`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	defer t.Stop()
+	<-time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+func badIndirect() {
+	sleep := time.Sleep // want `time\.Sleep reads the wall clock`
+	sleep(time.Millisecond)
+}
+
+// Plain time types and arithmetic carry no wall-clock reads.
+func allowed(d time.Duration) time.Duration {
+	return d * 2
+}
+
+func suppressed() {
+	//repolint:ignore wallclock replay driver compares against real elapsed time
+	_ = time.Now()
+	time.Sleep(time.Millisecond) //repolint:ignore wallclock trailing-form suppression with a reason
+}
+
+func unjustified() {
+	//repolint:ignore wallclock
+	_ = time.Now() // want `needs a justification`
+}

@@ -1,0 +1,10 @@
+package a
+
+import "time"
+
+// _test.go files may use the real clock freely.
+func timeSomething() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -77,13 +77,16 @@ func (m *Manual) Sleep(d time.Duration) {
 // After implements Clock.
 func (m *Manual) After(d time.Duration) <-chan time.Time {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	w := &manualWaiter{deadline: m.now.Add(d), ch: make(chan time.Time, 1)}
-	if d <= 0 {
-		w.ch <- m.now
-		return w.ch
+	fireAt := m.now
+	immediate := d <= 0
+	if !immediate {
+		m.waiters = append(m.waiters, w)
 	}
-	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+	if immediate {
+		w.ch <- fireAt // buffered, and w has not escaped yet
+	}
 	return w.ch
 }
 

@@ -128,7 +128,7 @@ func (c *Container) DLUEnqueue(task DLUTask) (queue <-chan DLUTask, ok bool) {
 		c.dluCh = make(chan DLUTask, DLUQueueDepth)
 		queue = c.dluCh
 	}
-	c.dluCh <- task
+	c.dluCh <- task //repolint:ignore lockheld the close protocol depends on this send staying under dluMu: DLUClose takes the same mutex, so a close can never race the send into a send-on-closed-channel panic
 	return queue, true
 }
 

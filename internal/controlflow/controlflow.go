@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/dataflow"
 	"repro/internal/storage"
@@ -105,6 +106,10 @@ type Config struct {
 	// TriggerOverhead is the orchestrator's per-function state-management
 	// delay (§3.2.3; the paper measures ~63 ms on production platforms).
 	TriggerOverhead time.Duration
+	// Clock is the orchestrator's time source (invocation timestamps and
+	// the trigger-overhead sleep when a function's node is unknown). Nil
+	// means the wall clock; tests can inject clock.NewManual.
+	Clock clock.Clock
 }
 
 // System is one deployed workflow under the control-flow orchestrator.
@@ -130,6 +135,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.DefaultSpec.MemoryMB == 0 {
 		cfg.DefaultSpec = cluster.Spec{MemoryMB: cluster.BaseMemoryMB}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewWall()
 	}
 	var fns []string
 	for _, f := range cfg.Workflow.Functions {
@@ -157,6 +165,8 @@ func (s *System) Register(fn string, h Handler) error {
 // Invocation is one in-flight or finished request.
 type Invocation struct {
 	ReqID string
+
+	clk clock.Clock
 
 	mu      sync.Mutex
 	tracker *dataflow.Tracker
@@ -220,7 +230,7 @@ func (inv *Invocation) finishLocked() {
 	select {
 	case <-inv.done:
 	default:
-		inv.end = time.Now()
+		inv.end = inv.clk.Now()
 		close(inv.done)
 	}
 }
@@ -245,9 +255,10 @@ func (s *System) Invoke(input map[string][]byte) (*Invocation, error) {
 
 	inv := &Invocation{
 		ReqID:     reqID,
+		clk:       s.cfg.Clock,
 		tracker:   dataflow.NewTracker(s.wf, reqID),
 		done:      make(chan struct{}),
-		start:     time.Now(),
+		start:     s.cfg.Clock.Now(),
 		finished:  make(map[string]bool),
 		triggered: make(map[string]bool),
 		remaining: make(map[string]int),
@@ -302,7 +313,7 @@ func (s *System) triggerFn(inv *Invocation, fn string) {
 			if node != nil {
 				node.Clock().Sleep(s.cfg.TriggerOverhead)
 			} else {
-				time.Sleep(s.cfg.TriggerOverhead)
+				s.cfg.Clock.Sleep(s.cfg.TriggerOverhead)
 			}
 		}
 		for i := 0; i < n; i++ {

@@ -1,3 +1,5 @@
+//repolint:hotpath the Invoke/schedule path holds the ~30 allocs/req budget; see tracegate
+
 // Package core is the runtime-plane implementation of the DataFlower
 // scheme: the paper's primary contribution as an embeddable Go library.
 //
@@ -38,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/dataflow"
 	"repro/internal/pipe"
@@ -102,6 +105,12 @@ type Config struct {
 	// single-owner fast path; when false the engine is byte-for-byte the
 	// fault-oblivious one (health states are simply never consulted).
 	FaultTolerant bool
+	// Clock is the engine's time source: invocation timestamps, the
+	// epoch-relative trace clock and the background reaper/scaler/governor
+	// tick loops all go through it, so a test (or the sim plane) can drive
+	// the engine in virtual time with clock.NewManual. Nil means the wall
+	// clock.
+	Clock clock.Clock
 	// QoS enables the admission & QoS plane (qos.go): per-tenant
 	// token-bucket admission, a weighted-fair queue in front of instance
 	// execution, and a pressure-driven shedding governor. Nil — the default
@@ -220,6 +229,7 @@ type System struct {
 	nodeLoad  map[*cluster.Node]*atomic.Int64
 
 	checkLog *pipe.CheckpointLog
+	clk      clock.Clock
 	epoch    time.Time
 
 	invs   invTable     // striped reqID -> *Invocation index
@@ -336,6 +346,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.DefaultSpec.MemoryMB == 0 {
 		cfg.DefaultSpec = cluster.Spec{MemoryMB: cluster.BaseMemoryMB}
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewWall()
+	}
 	var fns []string
 	for _, f := range cfg.Workflow.Functions {
 		fns = append(fns, f.Name)
@@ -351,7 +364,8 @@ func NewSystem(cfg Config) (*System, error) {
 		preds:    preds,
 		fnNames:  fns,
 		checkLog: pipe.NewCheckpointLog(),
-		epoch:    time.Now(),
+		clk:      cfg.Clock,
+		epoch:    cfg.Clock.Now(),
 		fns:      make(map[string]*fnState, len(fns)),
 	}
 	s.invs.init()
@@ -455,13 +469,11 @@ func NewSystem(cfg Config) (*System, error) {
 // data are skipped by Node.ReapIdle).
 func (s *System) reaper() {
 	defer s.bg.Done()
-	ticker := time.NewTicker(s.cfg.ReapInterval)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-s.stopReaper:
 			return
-		case <-ticker.C:
+		case <-s.clk.After(s.cfg.ReapInterval):
 			for _, name := range s.cfg.Cluster.Nodes() {
 				if n, ok := s.cfg.Cluster.Node(name); ok {
 					n.ReapIdle()
@@ -601,7 +613,7 @@ func (s *System) routeFor(inv *Invocation, st *fnState, prefer *cluster.Node) (*
 }
 
 // now returns time since system epoch (trace/sink timestamps).
-func (s *System) now() time.Duration { return time.Since(s.epoch) }
+func (s *System) now() time.Duration { return s.clk.Since(s.epoch) }
 
 func (s *System) traceEvent(kind trace.Kind, reqID, fn string, idx int, note string) {
 	if s.cfg.Trace != nil {
@@ -717,7 +729,7 @@ func (inv *Invocation) finishLocked() {
 		return
 	default:
 	}
-	inv.end = time.Now()
+	inv.end = inv.sys.clk.Now()
 	close(inv.done)
 	inv.sys.traceEvent(trace.ReqCompleted, inv.ReqID, "", 0, "")
 	// End-of-request GC: drop the invocation from the system table and
@@ -846,7 +858,7 @@ func (s *System) InvokeWith(input map[string][]byte, opts InvokeOpts) (*Invocati
 		sys:    s,
 		tenant: tenant,
 		done:   make(chan struct{}),
-		start:  time.Now(),
+		start:  s.clk.Now(),
 	}
 	inv.tracker.Init(s.wf, reqID)
 	s.invs.put(reqID, inv)
@@ -1011,9 +1023,9 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	}
 	for {
 		s.traceEvent(trace.InstanceStarted, inv.ReqID, fn, key.Idx, "")
-		ctx.started = time.Now()
+		ctx.started = s.clk.Now()
 		err := h(ctx)
-		st.observe(time.Since(ctx.started))
+		st.observe(s.clk.Since(ctx.started))
 		if err == nil {
 			s.traceEvent(trace.InstanceFinished, inv.ReqID, fn, key.Idx, "")
 			return

@@ -1,3 +1,4 @@
+//repolint:hotpath ship/land/put run per request item; see tracegate
 package core
 
 import (

@@ -1,3 +1,4 @@
+//repolint:hotpath per-request index lookups; see tracegate
 package core
 
 import "sync"

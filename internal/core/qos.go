@@ -110,13 +110,11 @@ func (s *System) admit(tenant string) error {
 // governor is the background shedding loop: one Sample per tick.
 func (s *System) governor() {
 	defer s.bg.Done()
-	ticker := time.NewTicker(s.qos.cfg.GovernorInterval)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-s.stopGovernor:
 			return
-		case <-ticker.C:
+		case <-s.clk.After(s.qos.cfg.GovernorInterval):
 			s.governTick()
 		}
 	}

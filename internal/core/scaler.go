@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"repro/internal/cluster"
 )
 
@@ -19,8 +17,6 @@ import (
 // scaler is the background goroutine driving periodic scale ticks.
 func (s *System) scaler() {
 	defer s.bg.Done()
-	ticker := time.NewTicker(s.elastic.Interval)
-	defer ticker.Stop()
 	// idleTicks counts consecutive ticks a function spent with an empty
 	// pending queue; only this goroutine touches it.
 	idleTicks := make(map[string]int, len(s.fnList))
@@ -28,7 +24,7 @@ func (s *System) scaler() {
 		select {
 		case <-s.stopScaler:
 			return
-		case <-ticker.C:
+		case <-s.clk.After(s.elastic.Interval):
 			s.scaleTick(idleTicks)
 		}
 	}

@@ -69,6 +69,9 @@ func (q *FairQueue) grantLocked(t *fqTenant) {
 // Acquire blocks until the tenant is granted an execution slot and returns
 // the release func (call exactly once, when the execution finishes).
 func (q *FairQueue) Acquire(tenant string) (release func()) {
+	if q == nil {
+		return func() {} // plane disabled: every slot is free, release is a no-op
+	}
 	q.mu.Lock()
 	t := q.tenantLocked(tenant)
 	// Immediate grant only when no queue jump is possible: a free slot, the
@@ -143,6 +146,9 @@ type TenantLoad struct {
 // Snapshot reads the queue's occupancy for the governor: total parked and
 // in-flight counts plus the per-tenant breakdown.
 func (q *FairQueue) Snapshot() (waiting, inflight int, perTenant map[string]TenantLoad) {
+	if q == nil {
+		return 0, 0, nil
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	perTenant = make(map[string]TenantLoad, len(q.tenants))
@@ -156,10 +162,18 @@ func (q *FairQueue) Snapshot() (waiting, inflight int, perTenant map[string]Tena
 }
 
 // Capacity returns the queue's total grant capacity.
-func (q *FairQueue) Capacity() int { return q.capacity }
+func (q *FairQueue) Capacity() int {
+	if q == nil {
+		return 0
+	}
+	return q.capacity
+}
 
 // Waiting returns the number of parked acquisitions.
 func (q *FairQueue) Waiting() int {
+	if q == nil {
+		return 0
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.waiting
@@ -167,6 +181,9 @@ func (q *FairQueue) Waiting() int {
 
 // InFlight returns the number of outstanding grants.
 func (q *FairQueue) InFlight() int {
+	if q == nil {
+		return 0
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.inflight

@@ -53,6 +53,9 @@ func NewGovernor(cfg *Config) *Governor {
 // Shedding reports whether the tenant is currently shed and the retry-after
 // hint to hand back. Lock-free.
 func (g *Governor) Shedding(tenant string) (retryAfter time.Duration, shed bool) {
+	if g == nil {
+		return 0, false
+	}
 	m := *g.shed.Load()
 	if len(m) == 0 {
 		return 0, false
@@ -63,6 +66,9 @@ func (g *Governor) Shedding(tenant string) (retryAfter time.Duration, shed bool)
 
 // ShedSet returns the currently shed tenant ids (nil when none).
 func (g *Governor) ShedSet() []string {
+	if g == nil {
+		return nil
+	}
 	m := *g.shed.Load()
 	if len(m) == 0 {
 		return nil
@@ -79,6 +85,9 @@ func (g *Governor) ShedSet() []string {
 // is transfer-bound (Eq. 1 positive) while saturated with a backlog; or the
 // Wait-Match Memory occupancy exceeded its bound.
 func (g *Governor) Overloaded(s Sample) bool {
+	if g == nil {
+		return false
+	}
 	if s.QueueDepth > g.cfg.ShedQueueDepth {
 		return true
 	}
@@ -98,6 +107,9 @@ func (g *Governor) Overloaded(s Sample) bool {
 // damage of an overload, it is not a steady-state rate limit (that is the
 // Limiter's job). It returns the tenants shed by this sample.
 func (g *Governor) Update(s Sample) []string {
+	if g == nil {
+		return nil
+	}
 	g.updates.Add(1)
 	if !g.Overloaded(s) {
 		if len(*g.shed.Load()) != 0 {
@@ -157,7 +169,17 @@ func (g *Governor) Update(s Sample) []string {
 }
 
 // Updates returns how many samples the governor has consumed.
-func (g *Governor) Updates() int64 { return g.updates.Load() }
+func (g *Governor) Updates() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.updates.Load()
+}
 
 // ShedTicks returns how many samples left at least one tenant shed.
-func (g *Governor) ShedTicks() int64 { return g.shedTicks.Load() }
+func (g *Governor) ShedTicks() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.shedTicks.Load()
+}

@@ -66,6 +66,9 @@ func (l *Limiter) stripe(tenant string) *limiterStripe {
 // time). When the bucket is empty it reports false and how long the tenant
 // must wait for the next token to accrue.
 func (l *Limiter) Allow(now time.Duration, tenant string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0 // plane disabled: admit unconditionally
+	}
 	st := l.stripe(tenant)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -97,6 +100,9 @@ func (l *Limiter) Allow(now time.Duration, tenant string) (ok bool, retryAfter t
 // Tokens reports the tenant's current token balance without consuming
 // (0 and false when the tenant has no bucket yet).
 func (l *Limiter) Tokens(tenant string) (float64, bool) {
+	if l == nil {
+		return 0, false
+	}
 	st := l.stripe(tenant)
 	st.mu.Lock()
 	defer st.mu.Unlock()

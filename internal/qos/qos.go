@@ -1,3 +1,5 @@
+//repolint:plane optional plane: nil objects must stay inert; see planegate
+
 // Package qos is the admission & QoS plane: multi-tenant overload control
 // for the runtime engine. Under sustained overload the elastic scaler (PR 3)
 // eventually hits MaxReplicas and latency grows without bound for every
@@ -133,6 +135,9 @@ func (c Config) WithDefaults(executorWidth int) Config {
 
 // TenantSpec resolves the envelope for a tenant id (named, or Default).
 func (c *Config) TenantSpec(tenant string) Tenant {
+	if c == nil {
+		return Tenant{}.withDefaults()
+	}
 	if t, ok := c.Tenants[tenant]; ok {
 		return t.withDefaults()
 	}

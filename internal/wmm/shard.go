@@ -1,3 +1,4 @@
+//repolint:hotpath sink shard ops run per data item; see tracegate
 package wmm
 
 import (

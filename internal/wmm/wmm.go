@@ -1,3 +1,5 @@
+//repolint:hotpath sink Land/Get/Consume run per data item; see tracegate
+
 // Package wmm implements the Wait-Match Memory: the per-node data sink of
 // DataFlower's host-container collaborative communication mechanism (§7).
 //
