@@ -818,6 +818,7 @@ var registry = []struct {
 	{"skew", Skew, false},
 	{"faults", Faults, false},
 	{"overload", Overload, false},
+	{"scenarios", Scenarios, false},
 }
 
 // All runs every paper experiment in figure order.

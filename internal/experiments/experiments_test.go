@@ -272,8 +272,8 @@ func TestByIDAndAll(t *testing.T) {
 
 func TestIDsCoverRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("IDs() = %d entries, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("IDs() = %d entries, want 17", len(ids))
 	}
 	for _, id := range ids {
 		if _, ok := ByID(id); !ok {
@@ -281,7 +281,7 @@ func TestIDsCoverRegistry(t *testing.T) {
 		}
 	}
 	// The extras must be addressable even though All skips them.
-	for _, extra := range []string{"skew", "faults", "overload"} {
+	for _, extra := range []string{"skew", "faults", "overload", "scenarios"} {
 		if _, ok := ByID(extra); !ok {
 			t.Fatalf("extra experiment %q missing from registry", extra)
 		}

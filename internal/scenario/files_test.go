@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedScenariosPass runs every scenario file shipped in
+// scenarios/ — the same set the CI job runs — so a regression that breaks
+// a committed scenario fails `go test` too, not just the scenarios job.
+func TestCommittedScenariosPass(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 6 {
+		t.Fatalf("found %d committed scenarios, want >= 6", len(paths))
+	}
+	suite, err := RunFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suite.Pass {
+		for _, rep := range suite.Scenarios {
+			for _, ar := range rep.Assertions {
+				if !ar.Pass {
+					t.Errorf("%s: %s[%s]: %s", rep.Name, ar.Kind, ar.Tenant, ar.Detail)
+				}
+			}
+		}
+		t.Fatal("committed scenarios failed")
+	}
+	stress := false
+	for _, rep := range suite.Scenarios {
+		if rep.Workers >= 1000 {
+			stress = true
+		}
+	}
+	if !stress {
+		t.Fatal("no committed stress scenario with >= 1000 workers")
+	}
+}

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+
+	"repro/internal/simcluster"
+)
+
+// Report is one scenario's machine-readable outcome: identity, pass/fail,
+// the run's headline counters, the per-tenant breakdown, and every
+// assertion's observed-vs-bound. It contains no wall-clock timestamps or
+// absolute paths, and all maps marshal with sorted keys, so the same
+// scenario and seed always marshal to identical bytes — CI diffs reports
+// across runs.
+type Report struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	System      string `json:"system"`
+	Benchmark   string `json:"benchmark"`
+	Seed        int64  `json:"seed"`
+	Workers     int    `json:"workers"`
+	Pass        bool   `json:"pass"`
+
+	Counters   Counters                   `json:"counters"`
+	Tenants    map[string]*TenantCounters `json:"tenants,omitempty"`
+	Assertions []AssertionResult          `json:"assertions,omitempty"`
+}
+
+// Counters are the run's headline metrics. Latencies are milliseconds.
+type Counters struct {
+	Completed     int64   `json:"completed"`
+	Failed        int64   `json:"failed"`
+	Availability  float64 `json:"availability"`
+	ThroughputRPM float64 `json:"throughput_rpm"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	Containers    int64   `json:"containers"`
+	MemGBsPerReq  float64 `json:"mem_gbs_per_req"`
+	// Fault-plane counters (zero on fault-free runs).
+	Recovered     int64   `json:"recovered"`
+	Replays       int64   `json:"replays"`
+	RecoveryP99Ms float64 `json:"recovery_p99_ms"`
+	// SimDuration is the virtual makespan.
+	SimDuration string `json:"sim_duration"`
+}
+
+// TenantCounters are one tenant's slice of the run.
+type TenantCounters struct {
+	Issued       int64   `json:"issued"`
+	Admitted     int64   `json:"admitted"`
+	Throttled    int64   `json:"throttled"`
+	Shed         int64   `json:"shed"`
+	Abandoned    int64   `json:"abandoned"`
+	Completed    int64   `json:"completed"`
+	Failed       int64   `json:"failed"`
+	GoodputRPM   float64 `json:"goodput_rpm"`
+	GoodputShare float64 `json:"goodput_share"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+// Suite wraps one runner invocation's reports (the CI artifact).
+type Suite struct {
+	Pass      bool      `json:"pass"`
+	Scenarios []*Report `json:"scenarios"`
+}
+
+// MarshalIndent renders the suite as stable, indented JSON.
+func (s *Suite) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// round3 rounds to 3 decimals for tidy reports (deterministic: same input,
+// same output).
+func round3(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*1000) / 1000
+}
+
+// buildReport assembles a Report from a finished run.
+func buildReport(sp *Spec, workers int, res *simcluster.Result) *Report {
+	rep := &Report{
+		Name:        sp.Name,
+		Description: sp.Description,
+		System:      res.System,
+		Benchmark:   res.Benchmark,
+		Seed:        sp.seed(),
+		Workers:     workers,
+		Counters:    buildCounters(res),
+	}
+	if len(res.Tenants) > 0 {
+		rep.Tenants = buildTenants(res)
+	}
+	rep.Assertions = evaluate(sp.Asserts, res)
+	rep.Pass = true
+	for _, ar := range rep.Assertions {
+		if !ar.Pass {
+			rep.Pass = false
+		}
+	}
+	return rep
+}
+
+// buildCounters extracts the headline metrics.
+func buildCounters(res *simcluster.Result) Counters {
+	c := Counters{
+		Completed:     res.Completed,
+		Failed:        res.Failed,
+		ThroughputRPM: round3(res.ThroughputRPM),
+		Containers:    res.Containers,
+		MemGBsPerReq:  round3(res.MemGBsPerReq),
+		Recovered:     res.Recovered,
+		Replays:       res.Replays,
+		SimDuration:   res.SimDuration.String(),
+	}
+	if total := res.Completed + res.Failed; total > 0 {
+		c.Availability = round3(float64(res.Completed) / float64(total))
+	}
+	if res.Latencies != nil && res.Latencies.Count() > 0 {
+		c.P50Ms = round3(res.Latencies.P50() * 1000)
+		c.P99Ms = round3(res.Latencies.P99() * 1000)
+		c.MeanMs = round3(res.Latencies.Mean() * 1000)
+	}
+	if res.RecoveryLat != nil && res.RecoveryLat.Count() > 0 {
+		c.RecoveryP99Ms = round3(res.RecoveryLat.P99() * 1000)
+	}
+	return c
+}
+
+// buildTenants extracts the per-tenant breakdown with goodput shares.
+func buildTenants(res *simcluster.Result) map[string]*TenantCounters {
+	total := 0.0
+	for _, t := range res.Tenants {
+		total += t.GoodputRPM
+	}
+	out := make(map[string]*TenantCounters, len(res.Tenants))
+	names := make([]string, 0, len(res.Tenants))
+	for name := range res.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := res.Tenants[name]
+		tc := &TenantCounters{
+			Issued: t.Issued, Admitted: t.Admitted, Throttled: t.Throttled,
+			Shed: t.Shed, Abandoned: t.Abandoned,
+			Completed: t.Completed, Failed: t.Failed,
+			GoodputRPM: round3(t.GoodputRPM),
+		}
+		if total > 0 {
+			tc.GoodputShare = round3(t.GoodputRPM / total)
+		}
+		if t.Latencies != nil && t.Latencies.Count() > 0 {
+			tc.P99Ms = round3(t.Latencies.P99() * 1000)
+		}
+		out[name] = tc
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/simcluster"
+)
+
+// Load reads and parses one scenario file (strict JSON: unknown fields are
+// errors, so typos fail loudly instead of silently defaulting).
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, serrf(path, "", "%v", err)
+	}
+	return Parse(data, path)
+}
+
+// Parse parses and validates scenario JSON. name labels errors and
+// defaults the scenario's Name (base name without extension).
+func Parse(data []byte, name string) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, serrf(name, "", "%v", err)
+	}
+	if dec.More() {
+		return nil, serrf(name, "", "trailing data after the scenario object")
+	}
+	if sp.Name == "" {
+		base := filepath.Base(name)
+		sp.Name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	if err := sp.validate(name); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// Run compiles and executes one validated spec and returns its report.
+// file labels compile-time errors.
+func Run(sp *Spec, file string) (*Report, error) {
+	c, err := sp.compile(file)
+	if err != nil {
+		return nil, err
+	}
+	s := simcluster.New(c.cfg)
+	for _, ev := range c.floods {
+		s.ScheduleTenantFlood(ev.At.D(), ev.Tenant, ev.Rpm, ev.Count)
+	}
+	w := sp.Workload
+	var res *simcluster.Result
+	switch w.pattern() {
+	case "skewed":
+		res = s.RunSkewedOpenLoop(w.Rpm, w.Count, w.Skew)
+	case "closed":
+		res = s.RunClosedLoop(w.Clients, w.Window.D())
+	case "tenants":
+		rpm := make(map[string]float64, len(w.Tenants))
+		count := make(map[string]int, len(w.Tenants))
+		for _, t := range w.Tenants {
+			rpm[t.Name] = t.Rpm
+			count[t.Name] = t.Count
+		}
+		res = s.RunTenantOpenLoop(rpm, count)
+	default: // "open"
+		res = s.RunOpenLoop(w.Rpm, w.Count)
+	}
+	return buildReport(sp, c.workers(), res), nil
+}
+
+// workers is the compiled fleet size (mirrors the engine's defaulting).
+func (c *compiled) workers() int {
+	if len(c.cfg.Fleet) > 0 {
+		return len(c.cfg.Fleet)
+	}
+	if c.cfg.Workers > 0 {
+		return c.cfg.Workers
+	}
+	return 3
+}
+
+// RunFile loads, validates and runs one scenario file.
+func RunFile(path string) (*Report, error) {
+	sp, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Run(sp, path)
+}
+
+// RunFiles runs the files in order into one Suite. A scenario that fails
+// to load or compile aborts the suite (broken files are bugs, not
+// assertion failures); assertion failures mark the suite failed but every
+// scenario still runs.
+func RunFiles(paths []string) (*Suite, error) {
+	suite := &Suite{Pass: true}
+	for _, p := range paths {
+		rep, err := RunFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Pass {
+			suite.Pass = false
+		}
+		suite.Scenarios = append(suite.Scenarios, rep)
+	}
+	return suite, nil
+}

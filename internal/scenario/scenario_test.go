@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// parseErr parses src expecting a *Error, and returns it.
+func parseErr(t *testing.T, src string) *Error {
+	t.Helper()
+	_, err := Parse([]byte(src), "test.json")
+	if err == nil {
+		t.Fatal("Parse accepted a bad scenario")
+	}
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("Parse returned %T, want *Error", err)
+	}
+	if e.File != "test.json" {
+		t.Fatalf("error file = %q, want test.json", e.File)
+	}
+	return e
+}
+
+const minimal = `{"workload": {"profile": "wc", "rpm": 600, "count": 5}}`
+
+func TestParseMinimal(t *testing.T) {
+	sp, err := Parse([]byte(minimal), "dir/minimal.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "minimal" {
+		t.Fatalf("Name = %q, want the file base name", sp.Name)
+	}
+	if sp.systemName() != "dataflower" || sp.Workload.pattern() != "open" || sp.seed() != 42 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	e := parseErr(t, `{"workload": {"profile": "wc", "rpm": 1, "count": 1}, "workers": 5}`)
+	if !strings.Contains(e.Msg, "workers") {
+		t.Fatalf("error %q does not name the unknown field", e)
+	}
+}
+
+func TestParseRejectsBadDuration(t *testing.T) {
+	e := parseErr(t, `{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+		"events": [{"at": "2 parsecs", "kind": "kill", "node": "w1"}]}`)
+	if !strings.Contains(e.Msg, "duration") {
+		t.Fatalf("error %q does not explain the duration", e)
+	}
+}
+
+func TestParseFieldContext(t *testing.T) {
+	cases := []struct {
+		src   string
+		field string
+	}{
+		{`{"workload": {"profile": "nope", "rpm": 1, "count": 1}}`, "workload.profile"},
+		{`{"system": "xen", "workload": {"profile": "wc", "rpm": 1, "count": 1}}`, "system"},
+		{`{"workload": {"profile": "wc", "pattern": "poisson", "rpm": 1, "count": 1}}`, "workload.pattern"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"events": [{"at": "1s", "kind": "explode", "node": "w1"}]}`, "events[0].kind"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"events": [{"at": "1s", "kind": "kill"}]}`, "events[0].node"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"events": [{"at": "1s", "kind": "flood", "rpm": 5, "count": 5}]}`, "events[0].tenant"},
+		{`{"system": "sonic", "workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"events": [{"at": "1s", "kind": "kill", "node": "w1"}]}`, "events[0].kind"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"assertions": [{"kind": "made_up"}]}`, "assertions[0]"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"assertions": [{"kind": "goodput_share_min", "value": 0.5}]}`, "assertions[0]"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"assertions": [{"kind": "p99_max"}]}`, "assertions[0]"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"stress": {"nodes": 0}}`, "stress.nodes"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"stress": {"nodes": 10, "failure_rate": 1.5}}`, "stress.failure_rate"},
+		{`{"workload": {"profile": "wc", "pattern": "tenants",
+			"tenants": [{"name": "a", "rpm": 1, "count": 1}, {"name": "a", "rpm": 1, "count": 1}]}}`,
+			"workload.tenants[1].name"},
+		{`{"replicas": -1, "workload": {"profile": "wc", "rpm": 1, "count": 1}}`, "replicas"},
+		{`{"workload": {"profile": "wc", "rpm": 1, "count": 1},
+			"qos": {"tenants": {"a": {"weight": -1}}}}`, `qos.tenants["a"].weight`},
+	}
+	for _, c := range cases {
+		e := parseErr(t, c.src)
+		if e.Field != c.field {
+			t.Errorf("field = %q, want %q (msg: %s)", e.Field, c.field, e.Msg)
+		}
+	}
+}
+
+// TestCompileSurfacesConfigError pins the loader satellite: an engine-level
+// config problem (fault target out of range) comes back as a *Error
+// wrapping the simcluster field, never a panic.
+func TestCompileSurfacesConfigError(t *testing.T) {
+	sp, err := Parse([]byte(`{"fleet": {"workers": 3},
+		"workload": {"profile": "wc", "rpm": 600, "count": 3},
+		"events": [{"at": "1s", "kind": "kill", "node": "w7"}]}`), "oob.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(sp, "oob.json")
+	if err == nil {
+		t.Fatal("Run accepted an out-of-range fault target")
+	}
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("Run returned %T, want *Error", err)
+	}
+	if e.Field != "config.Faults[0].Node" || e.File != "oob.json" {
+		t.Fatalf("error = %v, want config.Faults[0].Node in oob.json", e)
+	}
+}
+
+func TestRunMinimal(t *testing.T) {
+	sp, err := Parse([]byte(minimal), "minimal.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sp, "minimal.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Counters.Completed != 5 || rep.Workers != 3 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+// TestViolatedAssertionReportsObservedVsBound pins the acceptance demand: a
+// deliberately-violated assertion fails the scenario with an
+// observed-vs-bound detail line.
+func TestViolatedAssertionReportsObservedVsBound(t *testing.T) {
+	sp, err := Parse([]byte(`{"workload": {"profile": "wc", "rpm": 600, "count": 5},
+		"assertions": [{"kind": "completed_min", "value": 1000000}]}`), "violated.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sp, "violated.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("report passed a violated assertion")
+	}
+	ar := rep.Assertions[0]
+	if ar.Pass || ar.Observed != 5 || ar.Bound != 1e6 {
+		t.Fatalf("assertion = %+v, want observed 5 vs bound 1e+06", ar)
+	}
+	if !strings.Contains(ar.Detail, "observed 5 >= bound 1e+06") {
+		t.Fatalf("detail %q is not an observed-vs-bound line", ar.Detail)
+	}
+}
+
+// TestUnevaluableAssertionFails pins that a tenant typo fails loudly
+// instead of passing a trivially-zero ceiling.
+func TestUnevaluableAssertionFails(t *testing.T) {
+	sp, err := Parse([]byte(`{"workload": {"profile": "wc", "rpm": 600, "count": 5},
+		"assertions": [{"kind": "shed_max", "tenant": "ghost", "value": 10}]}`), "ghost.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sp, "ghost.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.Assertions[0].Pass {
+		t.Fatal("an assertion on a missing tenant passed")
+	}
+	if !strings.Contains(rep.Assertions[0].Detail, "unevaluable") {
+		t.Fatalf("detail %q does not mark the assertion unevaluable", rep.Assertions[0].Detail)
+	}
+}
+
+func TestRegistriesNonEmpty(t *testing.T) {
+	if len(Events()) < 4 {
+		t.Fatalf("event registry has %d kinds, want >= 4", len(Events()))
+	}
+	if len(Assertions()) < 15 {
+		t.Fatalf("assertion registry has %d kinds, want >= 15", len(Assertions()))
+	}
+	for _, k := range Assertions() {
+		if k.Doc == "" {
+			t.Fatalf("assertion %s has no doc", k.Name)
+		}
+		if kindByName[k.Name] == nil {
+			t.Fatalf("assertion %s missing from index", k.Name)
+		}
+	}
+}
+
+// TestDurRoundTrip pins the duration JSON format.
+func TestDurRoundTrip(t *testing.T) {
+	var d Dur
+	if err := d.UnmarshalJSON([]byte(`"1m30s"`)); err != nil || d.D().Seconds() != 90 {
+		t.Fatalf("unmarshal 1m30s: %v, %v", d, err)
+	}
+	b, err := d.MarshalJSON()
+	if err != nil || !bytes.Equal(b, []byte(`"1m30s"`)) {
+		t.Fatalf("marshal: %s, %v", b, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`90`)); err == nil {
+		t.Fatal("bare numbers must be rejected (ambiguous unit)")
+	}
+}

@@ -1,0 +1,116 @@
+package simcluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workloads"
+)
+
+// fingerprint summarizes everything observable about a run that an
+// identical event sequence must reproduce exactly.
+func fingerprint(res *Result) string {
+	return fmt.Sprintf("completed=%d failed=%d recovered=%d replays=%d containers=%d dur=%s mean=%.9f p99=%.9f memgbs=%.9f",
+		res.Completed, res.Failed, res.Recovered, res.Replays, res.Containers,
+		res.SimDuration, res.Latencies.Mean(), res.Latencies.P99(), res.MemGBs)
+}
+
+// edgeRun executes one open-loop run with the given fault schedule.
+func edgeRun(faults []FaultEvent) *Result {
+	s := New(Config{
+		Kind:      DataFlower,
+		Profile:   workloads.WordCount(3, 1<<20),
+		Placement: cluster.RoundRobin{Replicas: 2},
+		Faults:    faults,
+	})
+	return s.RunOpenLoop(600, 40)
+}
+
+// TestKillAlreadyDownNodeIsNoOp pins the edge case: a second kill of a Down
+// node must change nothing — the run is event-identical to the single-kill
+// run.
+func TestKillAlreadyDownNodeIsNoOp(t *testing.T) {
+	once := edgeRun([]FaultEvent{
+		{At: 2 * time.Second, Node: "w1", Kind: KillNode},
+		{At: 6 * time.Second, Node: "w1", Kind: RecoverNode},
+	})
+	twice := edgeRun([]FaultEvent{
+		{At: 2 * time.Second, Node: "w1", Kind: KillNode},
+		{At: 3 * time.Second, Node: "w1", Kind: KillNode},
+		{At: 6 * time.Second, Node: "w1", Kind: RecoverNode},
+	})
+	if a, b := fingerprint(once), fingerprint(twice); a != b {
+		t.Fatalf("double kill diverged from single kill:\n once: %s\ntwice: %s", a, b)
+	}
+}
+
+// TestDrainDownNodeIsNoOp pins the edge case: draining a Down node is a
+// no-op — in particular the later recover returns the node to service (Up,
+// not Draining), exactly as if the drain had never been scheduled.
+func TestDrainDownNodeIsNoOp(t *testing.T) {
+	plain := edgeRun([]FaultEvent{
+		{At: 2 * time.Second, Node: "w1", Kind: KillNode},
+		{At: 6 * time.Second, Node: "w1", Kind: RecoverNode},
+	})
+	drained := edgeRun([]FaultEvent{
+		{At: 2 * time.Second, Node: "w1", Kind: KillNode},
+		{At: 3 * time.Second, Node: "w1", Kind: DrainNode},
+		{At: 6 * time.Second, Node: "w1", Kind: RecoverNode},
+	})
+	if a, b := fingerprint(plain), fingerprint(drained); a != b {
+		t.Fatalf("drain of a down node diverged from a plain kill/recover:\n  plain: %s\ndrained: %s", a, b)
+	}
+}
+
+// TestDrainDownNodeStateDirect drives the transitions directly: after
+// kill+drain the node must be down and NOT draining, and after recover it
+// must be fully routable.
+func TestDrainDownNodeStateDirect(t *testing.T) {
+	s := New(Config{
+		Kind:    DataFlower,
+		Profile: workloads.WordCount(3, 0),
+		Faults: []FaultEvent{
+			{At: time.Second, Node: "w2", Kind: KillNode},
+			{At: 2 * time.Second, Node: "w2", Kind: DrainNode},
+			{At: 3 * time.Second, Node: "w2", Kind: RecoverNode},
+		},
+	})
+	s.RunOpenLoop(300, 10)
+	for _, n := range s.nodes {
+		if n.name != "w2" {
+			continue
+		}
+		if n.down || n.draining {
+			t.Fatalf("w2 after kill+drain+recover: down=%v draining=%v, want routable", n.down, n.draining)
+		}
+		return
+	}
+	t.Fatal("w2 not found")
+}
+
+// TestRecoverNeverKilledNodeIsNoOp pins the edge case: recovering a healthy
+// node changes nothing — the run is identical to the same schedule without
+// the recover, and (stronger) to the fault-free engine, because a no-op
+// schedule must not perturb events either.
+func TestRecoverNeverKilledNodeIsNoOp(t *testing.T) {
+	free := edgeRun(nil)
+	noop := edgeRun([]FaultEvent{
+		{At: 2 * time.Second, Node: "w1", Kind: RecoverNode},
+	})
+	if a, b := fingerprint(free), fingerprint(noop); a != b {
+		t.Fatalf("recover of a never-killed node diverged from the fault-free run:\nfree: %s\nnoop: %s", a, b)
+	}
+}
+
+// TestArmedEmptyScheduleMatchesFaultFree pins the gating contract: a
+// non-nil but empty fault schedule leaves the engine exactly on the
+// fault-free path.
+func TestArmedEmptyScheduleMatchesFaultFree(t *testing.T) {
+	free := edgeRun(nil)
+	empty := edgeRun([]FaultEvent{})
+	if a, b := fingerprint(free), fingerprint(empty); a != b {
+		t.Fatalf("empty schedule diverged from nil schedule:\n  nil: %s\nempty: %s", a, b)
+	}
+}

@@ -1,6 +1,7 @@
 package simcluster
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/dataflow"
@@ -80,7 +81,14 @@ func (s *Sim) armFaults() {
 	}
 }
 
-// applyFault dispatches one scheduled health transition.
+// applyFault dispatches one scheduled health transition. Edge cases are
+// deterministic no-ops, never state corruption: killing an already-Down
+// node changes nothing (killNode's guard), draining a Down node changes
+// nothing (a dead node has no new pins to refuse, and a recover must bring
+// it back Up, not Draining), and recovering a node that is neither down nor
+// draining changes nothing — in particular it never wipes a healthy node's
+// sink. Recovering a Draining node returns it to service, as documented on
+// RecoverNode.
 func (s *Sim) applyFault(fe FaultEvent) {
 	var n *node
 	for _, cand := range s.nodes {
@@ -90,7 +98,7 @@ func (s *Sim) applyFault(fe FaultEvent) {
 		}
 	}
 	if n == nil {
-		return
+		return // Validate rejects out-of-range nodes up front
 	}
 	switch fe.Kind {
 	case KillNode:
@@ -105,7 +113,9 @@ func (s *Sim) applyFault(fe FaultEvent) {
 		n.down = false
 		n.draining = false
 	case DrainNode:
-		n.draining = true
+		if !n.down {
+			n.draining = true
+		}
 	}
 }
 
@@ -139,7 +149,11 @@ func (s *Sim) killNode(n *node) {
 		}
 		c.dluQ.Close()
 	}
-	for _, fs := range n.fns {
+	// Map iteration order is randomized; every loop below walks sorted keys
+	// so the recovery work a kill spawns is ordered identically run to run
+	// (the determinism the scenario harness's byte-identical reports pin).
+	for _, fn := range sortedFnKeys(n.fns) {
+		fs := n.fns[fn]
 		for {
 			if _, ok := fs.idleQ.TryGet(); !ok {
 				break // corpses; acquire also skips any that slip back in
@@ -158,13 +172,23 @@ func (s *Sim) killNode(n *node) {
 	}
 	// Primaries hosted on the dead node move to a survivor (the prewarm and
 	// control-flow paths route through s.routing).
-	for fn, prim := range s.routing {
-		if prim == n {
+	routed := make([]string, 0, len(s.routing))
+	for fn := range s.routing {
+		routed = append(routed, fn)
+	}
+	sort.Strings(routed)
+	for _, fn := range routed {
+		if s.routing[fn] == n {
 			s.routing[fn] = s.fallbackPrimary(fn)
 		}
 	}
 
+	inflight := make([]*request, 0, len(s.inflight))
 	for req := range s.inflight {
+		inflight = append(inflight, req)
+	}
+	sort.Slice(inflight, func(i, j int) bool { return inflight[i].seq < inflight[j].seq })
+	for _, req := range inflight {
 		if req.failed || req.done.Triggered() {
 			continue
 		}
@@ -195,6 +219,17 @@ func (s *Sim) killNode(n *node) {
 			s.recoverRequest(p, req2, lost2, works2, ships2)
 		})
 	}
+}
+
+// sortedFnKeys returns a node's hosted function names in sorted order, for
+// deterministic iteration.
+func sortedFnKeys(fns map[string]*fnState) []string {
+	keys := make([]string, 0, len(fns))
+	for fn := range fns {
+		keys = append(keys, fn)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // fallbackPrimary returns fn's first routable replica, backfilling a fresh

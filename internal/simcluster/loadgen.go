@@ -132,6 +132,22 @@ func (s *Sim) RunTenantOpenLoop(rpmByTenant map[string]float64, countByTenant ma
 	return s.result(s.makespan())
 }
 
+// ScheduleTenantFlood arms an extra open-loop arrival stream that starts at
+// the given virtual time: count requests at rpm against the primary profile,
+// attributed to tenant. It must be called before the Run* method that drives
+// the simulation (the event fires inside that run). This is the scenario
+// harness's "tenant flood" timed event: a tenant going hot mid-run while the
+// base streams are already flowing.
+func (s *Sim) ScheduleTenantFlood(at time.Duration, tenant string, rpm float64, count int) {
+	if rpm <= 0 || count <= 0 {
+		return
+	}
+	s.env.ScheduleAt(at, func() {
+		s.openLoopGen("flood-"+tenant, rpm, count,
+			func(int) *workloads.Profile { return s.cfg.Profile }, tenant)
+	})
+}
+
 // RunBurst generates a low load followed by a sudden burst (§9.5: wc jumps
 // from 10 rpm to 100 rpm; 110 requests over two minutes).
 func (s *Sim) RunBurst(lowRPM, highRPM float64, lowDur, highDur time.Duration) *Result {

@@ -72,6 +72,12 @@ type Config struct {
 
 	// Workers is the number of worker nodes (default 3, as §9.1).
 	Workers int
+	// Fleet optionally gives every worker its own hardware shape: when
+	// non-empty it overrides Workers (one worker per entry, in order) and
+	// each node's NIC/disk bandwidth; zero fields fall back to
+	// NodeNICBps/DiskBps. The scenario harness generates large fleets from
+	// weighted templates onto this surface.
+	Fleet []NodeSpec
 	// SingleNode forces all functions onto one worker (§9.4 setup).
 	SingleNode bool
 	// Placement overrides the placement policy: the same snapshot/policy
@@ -139,8 +145,20 @@ type Config struct {
 	PrewarmOnArrival bool
 }
 
+// NodeSpec is one worker's hardware shape in Config.Fleet. Zero fields fall
+// back to the cluster-wide Config.NodeNICBps/DiskBps defaults.
+type NodeSpec struct {
+	// NICBps is the node's NIC bandwidth in bytes/second.
+	NICBps float64
+	// DiskBps is the node's host-local SSD bandwidth in bytes/second.
+	DiskBps float64
+}
+
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
+	if len(c.Fleet) > 0 {
+		c.Workers = len(c.Fleet)
+	}
 	if c.Workers == 0 {
 		c.Workers = 3
 	}
@@ -416,12 +434,14 @@ func (a *avgTracker) avg() time.Duration {
 	return a.total / time.Duration(a.n)
 }
 
-// New builds a simulation for the config.
+// New builds a simulation for the config. Programmatic misuse panics with
+// the Validate error; callers assembling configs from external input (the
+// scenario harness) should call Validate first and surface the typed error.
 func New(cfg Config) *Sim {
-	cfg = cfg.withDefaults()
-	if cfg.Profile == nil {
-		panic("simcluster: Config.Profile required")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
+	cfg = cfg.withDefaults()
 	env := sim.NewEnv(cfg.Seed)
 	fab := simnet.NewFabric(env)
 	s := &Sim{
@@ -445,11 +465,20 @@ func New(cfg Config) *Sim {
 		s.log = trace.NewLog()
 	}
 	for i := 0; i < cfg.Workers; i++ {
+		nicBps, diskBps := cfg.NodeNICBps, cfg.DiskBps
+		if len(cfg.Fleet) > 0 {
+			if sp := cfg.Fleet[i]; sp.NICBps > 0 {
+				nicBps = sp.NICBps
+			}
+			if sp := cfg.Fleet[i]; sp.DiskBps > 0 {
+				diskBps = sp.DiskBps
+			}
+		}
 		n := &node{
 			idx:  i,
 			name: fmt.Sprintf("w%d", i+1),
-			nic:  fab.NewEndpoint(fmt.Sprintf("w%d-nic", i+1), cfg.NodeNICBps),
-			disk: fab.NewEndpoint(fmt.Sprintf("w%d-disk", i+1), cfg.DiskBps),
+			nic:  fab.NewEndpoint(fmt.Sprintf("w%d-nic", i+1), nicBps),
+			disk: fab.NewEndpoint(fmt.Sprintf("w%d-disk", i+1), diskBps),
 			sink: wmm.NewSink(wmm.Options{
 				TTL:              cfg.SinkTTL,
 				DisableProactive: cfg.Kind == FaaSFlow || cfg.Kind == SONIC || cfg.Kind == StateMachine,
@@ -466,10 +495,9 @@ func New(cfg Config) *Sim {
 	s.profs = append(s.profs, cfg.Colocated...)
 	var fnNames []string
 	for _, prof := range s.profs {
+		// Validate already rejected duplicate function names across the
+		// colocated workflows.
 		for _, f := range prof.Workflow.Functions {
-			if _, dup := s.profOf[f.Name]; dup {
-				panic(fmt.Sprintf("simcluster: duplicate function name %q across colocated workflows", f.Name))
-			}
 			s.profOf[f.Name] = prof
 			fnNames = append(fnNames, f.Name)
 		}

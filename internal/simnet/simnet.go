@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -22,6 +23,7 @@ import (
 // node NIC, or a storage service's aggregate bandwidth.
 type Endpoint struct {
 	name     string
+	id       int64   // creation order; deterministic bottleneck tie-break
 	capacity float64 // bytes per second; <= 0 means unlimited
 	fabric   *Fabric
 	active   int // number of active flows through this endpoint
@@ -49,6 +51,7 @@ func (ep *Endpoint) SetCapacity(bytesPerSec float64) {
 // Flow is an in-flight transfer.
 type flow struct {
 	eps       []*Endpoint
+	seq       int64 // start order; deterministic completion ordering
 	size      float64
 	remaining float64
 	rate      float64
@@ -63,6 +66,8 @@ type Fabric struct {
 	flows      map[*flow]struct{}
 	lastUpdate time.Duration
 	gen        int64 // invalidates stale completion timers
+	flowSeq    int64
+	epSeq      int64
 	completed  int64
 	bytesMoved float64
 }
@@ -75,7 +80,8 @@ func NewFabric(env *sim.Env) *Fabric {
 // NewEndpoint creates an endpoint with the given capacity in bytes/second
 // (<= 0 means unlimited).
 func (f *Fabric) NewEndpoint(name string, bytesPerSec float64) *Endpoint {
-	return &Endpoint{name: name, capacity: bytesPerSec, fabric: f}
+	f.epSeq++
+	return &Endpoint{name: name, id: f.epSeq, capacity: bytesPerSec, fabric: f}
 }
 
 // ActiveFlows returns the number of in-flight flows.
@@ -105,8 +111,10 @@ func (f *Fabric) StartTransfer(size int64, eps ...*Endpoint) *sim.Event {
 		ev.Trigger(nil)
 		return ev
 	}
+	f.flowSeq++
 	fl := &flow{
 		eps:       eps,
+		seq:       f.flowSeq,
 		size:      float64(size),
 		remaining: float64(size),
 		done:      ev,
@@ -178,18 +186,26 @@ func (f *Fabric) recompute() {
 	})
 }
 
-// finishDone completes flows with no remaining bytes.
+// finishDone completes flows with no remaining bytes, in start order:
+// several flows can finish at the same instant (equal shares, equal
+// sizes), and their waiters must wake in a deterministic order — map
+// iteration here would leak randomness into the event sequence.
 func (f *Fabric) finishDone() {
+	var done []*flow
 	for fl := range f.flows {
 		if fl.remaining <= 1e-6 {
-			delete(f.flows, fl)
-			for _, ep := range fl.eps {
-				ep.active--
-			}
-			f.completed++
-			f.bytesMoved += fl.size
-			fl.done.Trigger(nil)
+			done = append(done, fl)
 		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+	for _, fl := range done {
+		delete(f.flows, fl)
+		for _, ep := range fl.eps {
+			ep.active--
+		}
+		f.completed++
+		f.bytesMoved += fl.size
+		fl.done.Trigger(nil)
 	}
 }
 
@@ -220,6 +236,10 @@ func (f *Fabric) assignRates() {
 	for len(unfrozen) > 0 {
 		// Find the bottleneck endpoint: minimum fair share among endpoints
 		// with unfrozen flows.
+		// Tie-break equal shares on endpoint creation order: with map
+		// iteration the pick would differ run to run, and when tied
+		// endpoints carry different flow sets the freeze order changes
+		// the final rates.
 		var bottleneck *Endpoint
 		minShare := math.Inf(1)
 		for ep, st := range states {
@@ -227,7 +247,7 @@ func (f *Fabric) assignRates() {
 				continue
 			}
 			share := st.residual / float64(st.unfrozen)
-			if share < minShare {
+			if share < minShare || (share == minShare && (bottleneck == nil || ep.id < bottleneck.id)) {
 				minShare = share
 				bottleneck = ep
 			}
