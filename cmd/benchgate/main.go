@@ -6,8 +6,8 @@
 // Usage:
 //
 //	benchgate -parse bench.txt -out summary.json
-//	benchgate -compare -current fresh.json [-baseline BENCH_PR4.json] [-max-drop 0.25]
-//	benchgate -list [-baseline BENCH_PR4.json] [-max-drop 0.25]
+//	benchgate -compare -current fresh.json [-baseline BENCH_PR8.json] [-max-drop 0.25]
+//	benchgate -list [-baseline BENCH_PR8.json] [-max-drop 0.25]
 //
 // -list prints the gate's contract — every gated benchmark with its
 // baseline throughput and the floor below which CI fails — so the
@@ -49,8 +49,9 @@ type Bench struct {
 const schema = "benchgate/v1"
 
 // DefaultBaseline is the committed baseline the gate compares against when
-// -baseline is not given.
-const DefaultBaseline = "BENCH_PR4.json"
+// -baseline is not given. BENCH_PR8.json adds the cores=N scaling-curve
+// entries on top of the PR 4 gate set.
+const DefaultBaseline = "BENCH_PR8.json"
 
 func main() {
 	parse := flag.String("parse", "", "go test -bench output file to parse")

@@ -108,7 +108,7 @@ func TestDefaultBaselineMatchesCommittedFile(t *testing.T) {
 	// baseline so a bare `benchgate -compare -current x.json` gates against
 	// it; CI still passes -baseline explicitly, so re-baselining is a
 	// workflow edit, not a source edit.
-	if DefaultBaseline != "BENCH_PR4.json" {
+	if DefaultBaseline != "BENCH_PR8.json" {
 		t.Fatalf("DefaultBaseline = %q", DefaultBaseline)
 	}
 	if _, err := os.Stat(filepath.Join("..", "..", DefaultBaseline)); err != nil {

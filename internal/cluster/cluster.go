@@ -81,6 +81,10 @@ const DLUQueueDepth = 256
 type DLUTask struct {
 	Ref   any
 	Items []dataflow.Item
+	// Buf is the engine's recyclable backing of Items (typed any, always a
+	// pointer when set); the consumer hands it back to its pool once the
+	// items are shipped.
+	Buf any
 }
 
 // Container hosts one function's FLU threads and DLU daemon.

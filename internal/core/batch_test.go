@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wmm"
+)
+
+// newBatchWCSystem is newWCSystem without a trace log (tracing forces the
+// per-item DLU path), with batching toggled by batch.
+func newBatchWCSystem(t testing.TB, nodes int, batch bool, cfgMut func(*Config)) *System {
+	t.Helper()
+	sys, _ := newWCSystem(t, nodes, func(cfg *Config) {
+		cfg.Trace = nil
+		cfg.BatchDLU = batch
+		if cfgMut != nil {
+			cfgMut(cfg)
+		}
+	})
+	return sys
+}
+
+// runWCStorm drives n concurrent wordcount requests and returns the merged
+// sink stats after every request completed.
+func runWCStorm(t *testing.T, sys *System, n int) wmm.Stats {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	outs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inv, err := sys.Invoke(map[string][]byte{
+				"start.src": []byte(strings.Repeat(fmt.Sprintf("w%d ", i), 6)),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := inv.Wait(); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i], _ = inv.OutputBytes("out")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("req %d: %v", i, errs[i])
+		}
+		if want := fmt.Sprintf("w%d 6\n", i); string(outs[i]) != want {
+			t.Fatalf("req %d out = %q, want %q", i, outs[i], want)
+		}
+	}
+	return sys.SinkStats()
+}
+
+// TestBatchedSinkStateEquivalence runs the same concurrent storm through a
+// batched and an unbatched engine: outputs, cumulative sink counters, and
+// post-completion residue must match exactly — batching may only change how
+// many lock acquisitions the same puts cost, never what was put.
+func TestBatchedSinkStateEquivalence(t *testing.T) {
+	for _, nodes := range []int{1, 3} {
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			const n = 200
+			plain := newBatchWCSystem(t, nodes, false, nil)
+			plainStats := runWCStorm(t, plain, n)
+			plain.Shutdown()
+			batched := newBatchWCSystem(t, nodes, true, nil)
+			batchStats := runWCStorm(t, batched, n)
+			batched.Shutdown()
+			// Peak occupancy depends on goroutine interleaving (two unbatched
+			// storms differ too); every cumulative counter must match exactly.
+			plainStats.PeakMemBytes, batchStats.PeakMemBytes = 0, 0
+			if plainStats != batchStats {
+				t.Fatalf("sink stats diverged:\nplain   %+v\nbatched %+v", plainStats, batchStats)
+			}
+			if got := batched.PendingInvocations(); got != 0 {
+				t.Fatalf("batched engine left %d pending invocations", got)
+			}
+		})
+	}
+}
+
+// TestBatchFlushOnIdle pins the flush-on-idle rule: a lone request on a
+// batched engine never waits for peers to fill a batch.
+func TestBatchFlushOnIdle(t *testing.T) {
+	sys := newBatchWCSystem(t, 2, true, nil)
+	defer sys.Shutdown()
+	start := time.Now()
+	inv, err := sys.Invoke(map[string][]byte{"start.src": []byte("x y x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("lone request took %v; batching must flush on idle", elapsed)
+	}
+	if out, _ := inv.OutputBytes("out"); string(out) != "x 2\ny 1\n" {
+		t.Fatal("lone batched request produced wrong output")
+	}
+}
+
+// TestBatchedShutdownVsDrainStorm races Shutdown against invokers on a
+// batched engine: a half-drained batch must be shipped (closed queues still
+// deliver buffered tasks), refused late Puts must unwind cleanly, and the
+// run must be race-free (the CI race job runs this at -count=2). As in the
+// per-item storm test, requests abandoned mid-flight stay open; Shutdown
+// itself guarantees quiescence.
+func TestBatchedShutdownVsDrainStorm(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		sys := newBatchWCSystem(t, 2, true, nil)
+		var wg sync.WaitGroup
+		var invMu sync.Mutex
+		var invs []*Invocation
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					inv, err := sys.Invoke(map[string][]byte{
+						"start.src": []byte(fmt.Sprintf("a%d b%d", g, i)),
+					})
+					if err != nil {
+						return // shutdown observed
+					}
+					invMu.Lock()
+					invs = append(invs, inv)
+					invMu.Unlock()
+				}
+			}(g)
+		}
+		time.Sleep(time.Duration(round+1) * time.Millisecond)
+		sys.Shutdown()
+		wg.Wait()
+		// Completed requests resolved with the right answer; abandoned ones
+		// stay open without hanging the engine (Shutdown already drained bg).
+		completed := 0
+		for _, inv := range invs {
+			select {
+			case <-inv.Done():
+				completed++
+				if err := inv.Err(); err == nil {
+					if out, ok := inv.OutputBytes("out"); !ok || len(out) == 0 {
+						t.Fatal("completed request lost its output")
+					}
+				}
+			default:
+			}
+		}
+		t.Logf("round %d: %d/%d completed before shutdown", round, completed, len(invs))
+	}
+}
+
+// TestBatchedWithTraceFallsBackPerItem documents the Config contract:
+// tracing keeps the per-item DLU path so event streams never change shape.
+func TestBatchedWithTraceFallsBackPerItem(t *testing.T) {
+	sys, log := newWCSystem(t, 2, func(cfg *Config) { cfg.BatchDLU = true })
+	defer sys.Shutdown()
+	inv, err := sys.Invoke(map[string][]byte{"start.src": []byte("x y x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := inv.OutputBytes("out"); string(out) != "x 2\ny 1\n" {
+		t.Fatalf("out = %q", out)
+	}
+	if len(log.Events()) == 0 {
+		t.Fatal("trace log empty: tracing must keep working with BatchDLU set")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -28,12 +29,19 @@ function b
 // newBenchSystem builds the benchmark system: a two-function chain placed
 // round-robin over a 4-node cluster (a and b land on different nodes, so
 // every request crosses the pipe connector path), fast containers, no trace.
-func newBenchSystem(b *testing.B) *System {
+func newBenchSystem(b testing.TB) *System {
 	return newBenchSystemQoS(b, nil)
 }
 
-// newBenchSystemQoS is newBenchSystem with an optional QoS plane.
-func newBenchSystemQoS(b *testing.B, qcfg *qos.Config) *System {
+// newBenchSystemBatched is newBenchSystem with the batched DLU daemon on.
+func newBenchSystemBatched(b testing.TB) *System {
+	sys := newBenchSystemQoS(b, nil, func(cfg *Config) { cfg.BatchDLU = true })
+	return sys
+}
+
+// newBenchSystemQoS is newBenchSystem with an optional QoS plane and
+// optional further Config mutations.
+func newBenchSystemQoS(b testing.TB, qcfg *qos.Config, cfgMut ...func(*Config)) *System {
 	b.Helper()
 	wf, err := workflow.ParseDSLString(benchDSL)
 	if err != nil {
@@ -45,12 +53,16 @@ func newBenchSystemQoS(b *testing.B, qcfg *qos.Config) *System {
 			b.Fatal(err)
 		}
 	}
-	sys, err := NewSystem(Config{
+	cfg := Config{
 		Workflow:    wf,
 		Cluster:     cl,
 		DefaultSpec: cluster.Spec{MemoryMB: 10 * 1024},
 		QoS:         qcfg,
-	})
+	}
+	for _, mut := range cfgMut {
+		mut(&cfg)
+	}
+	sys, err := NewSystem(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -76,61 +88,125 @@ func newBenchSystemQoS(b *testing.B, qcfg *qos.Config) *System {
 	return sys
 }
 
-// BenchmarkInvokeThroughput measures the runtime-plane control path: many
-// goroutines issuing complete small-payload workflow requests (Invoke →
-// schedule → container acquire → handler → DLU ship → land → deliver →
-// teardown GC) against one System. The payload is tiny so the engine's
-// per-request coordination — not data movement — dominates.
+// benchPayload is the small request payload every throughput benchmark
+// issues: tiny, so the engine's per-request coordination — not data
+// movement — dominates.
+var benchPayload = []byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+
+// runInvokeThroughput is the shared storm body: g goroutines issuing
+// complete small-payload workflow requests (Invoke → schedule → container
+// acquire → handler → DLU ship → land → deliver → teardown GC) against sys.
+func runInvokeThroughput(b *testing.B, sys *System, g int) {
+	// Warm the container pools so cold-start noise stays out.
+	warm, err := sys.Invoke(map[string][]byte{"a.in": benchPayload})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	perG := b.N/g + 1
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < g; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Invoke does not retain the input map; a real client
+			// issuing a request stream reuses its buffer.
+			in := map[string][]byte{"a.in": benchPayload}
+			for i := 0; i < perG; i++ {
+				inv, err := sys.Invoke(in)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := inv.Wait(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkInvokeThroughput measures the runtime-plane control path.
+//
+// goroutines=G varies client concurrency at whatever GOMAXPROCS the run
+// was launched with (the gated configuration). cores=N is the scaling
+// curve: the engine is rebuilt under GOMAXPROCS=N with the batched DLU
+// daemon on and driven by 8*N closed-loop clients, so the N∈{1,2,4,8}
+// series shows how throughput scales with cores. On a 1-core runner the
+// curve is flat by construction — the committed BENCH_PR8.json records
+// the curve measured on the CI box; see README for multi-core numbers.
 func BenchmarkInvokeThroughput(b *testing.B) {
-	payload := []byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
 	for _, g := range []int{1, 8, 16, 64} {
 		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
 			sys := newBenchSystem(b)
 			defer sys.Shutdown()
-			// Warm the container pools so cold-start noise stays out.
-			warm, err := sys.Invoke(map[string][]byte{"a.in": payload})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := warm.Wait(); err != nil {
-				b.Fatal(err)
-			}
-			perG := b.N/g + 1
-			var wg sync.WaitGroup
-			errs := make([]error, g)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for w := 0; w < g; w++ {
-				w := w
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					// Invoke does not retain the input map; a real client
-					// issuing a request stream reuses its buffer.
-					in := map[string][]byte{"a.in": payload}
-					for i := 0; i < perG; i++ {
-						inv, err := sys.Invoke(in)
-						if err != nil {
-							errs[w] = err
-							return
-						}
-						if err := inv.Wait(); err != nil {
-							errs[w] = err
-							return
-						}
-					}
-				}()
-			}
-			wg.Wait()
-			b.StopTimer()
-			for _, err := range errs {
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			runInvokeThroughput(b, sys, g)
 		})
 	}
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			// GOMAXPROCS must be set before NewSystem: the executor-pool
+			// width is sized off it.
+			prev := runtime.GOMAXPROCS(n)
+			defer runtime.GOMAXPROCS(prev)
+			sys := newBenchSystemBatched(b)
+			defer sys.Shutdown()
+			runInvokeThroughput(b, sys, 8*n)
+		})
+	}
+}
+
+// TestInvokeAllocsCeiling gates the pooling work: one complete request on
+// the bench chain must stay within the allocation budget. The ceiling is
+// deliberately a little above the measured steady state (14 allocs/req at
+// PR 8) so unrelated noise does not flake it, while a pooling regression
+// (a dropped free-list, a per-request slice reborn) trips it immediately.
+func TestInvokeAllocsCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	const ceiling = 15
+	sys := newBenchSystem(t)
+	defer sys.Shutdown()
+	in := map[string][]byte{"a.in": benchPayload}
+	// Warm containers and pools so the measurement sees steady state.
+	for i := 0; i < 50; i++ {
+		inv, err := sys.Invoke(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		inv, err := sys.Invoke(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > ceiling {
+		t.Fatalf("Invoke allocates %.1f objects/request, ceiling is %d", avg, ceiling)
+	}
+	t.Logf("allocs/request: %.1f (ceiling %d)", avg, ceiling)
 }
 
 // BenchmarkOverloadIsolation measures what the admission & QoS plane is

@@ -86,6 +86,18 @@ type Config struct {
 	TransferLatency time.Duration
 	// ChunkSize overrides the streaming pipe chunk size.
 	ChunkSize int
+	// BatchDLU coalesces DLU shipments: the daemon drains whatever is
+	// already queued into one batch, groups the items per (invocation,
+	// destination-replica) edge and pays one pipe charge, one sink
+	// multi-put and one accounting pass per group — with a flush-on-idle
+	// rule (only queued tasks are drained, never awaited) so a lone request
+	// ships immediately. Off — the default — the daemon is byte-for-byte
+	// the per-item one. Tracing (Config.Trace) keeps the per-item path even
+	// when set, so event streams never change shape.
+	BatchDLU bool
+	// DLUBatchTasks caps how many queued tasks one batch drains
+	// (DefaultDLUBatchTasks when 0).
+	DLUBatchTasks int
 	// Trace receives execution events when non-nil.
 	Trace *trace.Log
 	// ReapInterval runs the keep-alive reaper periodically on every node
@@ -226,14 +238,21 @@ type System struct {
 	// locality-aware routing).
 	allNodes  []*cluster.Node
 	nodeNames []string
-	nodeLoad  map[*cluster.Node]*atomic.Int64
+	nodeLoad  map[*cluster.Node]*stripedCounter
 
 	checkLog *pipe.CheckpointLog
 	clk      clock.Clock
 	epoch    time.Time
 
-	invs   invTable     // striped reqID -> *Invocation index
-	reqSeq atomic.Int64 // request-ID sequence
+	invs invTable // striped reqID -> *Invocation index
+
+	// Request-ID allocation: reqSeq is the shared sequence; idPool hands
+	// out idBlock runs so the hot path touches the shared atomic once per
+	// idBlockSize requests, and stripeSeq round-robins the stripe tags
+	// new blocks carry (see stripes.go).
+	reqSeq    atomic.Int64
+	idPool    sync.Pool
+	stripeSeq atomic.Uint32
 
 	// handlersReady flips true once every function has a handler, so the
 	// steady-state Invoke validates with one atomic load instead of
@@ -280,16 +299,19 @@ type fnState struct {
 
 	handler atomic.Pointer[Handler]
 
-	fluNanos atomic.Int64
-	fluCount atomic.Int64
+	// All five accounting counters are striped (see stripes.go): writers
+	// tag by the request's stripe so concurrent cores do not ping a shared
+	// cache line; readers sum the lanes.
+	fluNanos stripedCounter
+	fluCount stripedCounter
 
 	// pending counts instances admitted but not yet completed — the
 	// queue-pressure signal the scaler combines with Eq. 1. putBytes and
 	// putCount accumulate DLU output sizes for the Eq. 1 transfer estimate.
 	// All three are maintained only when the scaler is enabled.
-	pending  atomic.Int64
-	putBytes atomic.Int64
-	putCount atomic.Int64
+	pending  stripedCounter
+	putBytes stripedCounter
+	putCount stripedCounter
 }
 
 // replicaList returns the current replica set (never empty after NewSystem).
@@ -319,10 +341,11 @@ func (f *fnState) avg() time.Duration {
 	return time.Duration(f.fluNanos.Load() / n)
 }
 
-// observe folds one handler execution into the running average.
-func (f *fnState) observe(d time.Duration) {
-	f.fluNanos.Add(int64(d))
-	f.fluCount.Add(1)
+// observe folds one handler execution into the running average, on the
+// observing request's counter stripe.
+func (f *fnState) observe(stripe uint32, d time.Duration) {
+	f.fluNanos.Add(stripe, int64(d))
+	f.fluCount.Add(stripe, 1)
 }
 
 // NewSystem validates the workflow, places functions on the cluster's nodes
@@ -369,12 +392,12 @@ func NewSystem(cfg Config) (*System, error) {
 		fns:      make(map[string]*fnState, len(fns)),
 	}
 	s.invs.init()
-	s.nodeLoad = make(map[*cluster.Node]*atomic.Int64)
+	s.nodeLoad = make(map[*cluster.Node]*stripedCounter)
 	for _, name := range cfg.Cluster.Nodes() {
 		if n, ok := cfg.Cluster.Node(name); ok {
 			s.allNodes = append(s.allNodes, n)
 			s.nodeNames = append(s.nodeNames, name)
-			s.nodeLoad[n] = new(atomic.Int64)
+			s.nodeLoad[n] = new(stripedCounter)
 			if n.Sink.Retains() {
 				s.sinkRetain = true
 			}
@@ -665,6 +688,20 @@ type Invocation struct {
 	// both keep the count positive) and teardown can skip the per-node
 	// ReleaseRequest sweep entirely.
 	sinkResidue atomic.Int64
+
+	// Inline backings for the slices above: a typical request touches a
+	// handful of instance keys, pins, and ready instances, so seeding the
+	// slices here folds their first growth into the Invocation allocation.
+	// If a slice outgrows its seed, append reallocates and the copied
+	// headers keep the (heap-alive) old backing valid.
+	arrivedBuf [2]arrivedBucket
+	routeBuf   [4]routePin
+	readyBuf   [4]dataflow.InstanceKey
+
+	// stripe tags the request onto one lane of the striped engine
+	// counters (see stripes.go); inherited from the idBlock the request
+	// number came from, so requests minted on the same P share a lane.
+	stripe uint32
 }
 
 // Tenant returns the request's QoS tenant attribution ("" when the
@@ -851,15 +888,33 @@ func (s *System) InvokeWith(input map[string][]byte, opts InvokeOpts) (*Invocati
 			return nil, err
 		}
 	}
+	// Take the next request number from a pooled idBlock: the shared
+	// sequence is touched once per idBlockSize requests, and the block's
+	// stripe tag routes all of this request's counter updates to one lane.
+	blk, _ := s.idPool.Get().(*idBlock)
+	if blk == nil {
+		blk = &idBlock{stripe: s.stripeSeq.Add(1) & (statStripes - 1)}
+	}
+	if blk.next == blk.end {
+		end := s.reqSeq.Add(idBlockSize)
+		blk.next, blk.end = end-idBlockSize+1, end+1
+	}
+	reqNum, stripe := blk.next, blk.stripe
+	blk.next++
+	s.idPool.Put(blk)
 	var idBuf [24]byte
-	reqID := string(strconv.AppendInt(append(idBuf[:0], "req-"...), s.reqSeq.Add(1), 10))
+	reqID := string(strconv.AppendInt(append(idBuf[:0], "req-"...), reqNum, 10))
 	inv := &Invocation{
 		ReqID:  reqID,
 		sys:    s,
 		tenant: tenant,
+		stripe: stripe,
 		done:   make(chan struct{}),
 		start:  s.clk.Now(),
 	}
+	inv.arrived = inv.arrivedBuf[:0]
+	inv.route = inv.routeBuf[:0]
+	inv.readyScratch = inv.readyBuf[:0]
 	inv.tracker.Init(s.wf, reqID)
 	s.invs.put(reqID, inv)
 
@@ -906,7 +961,7 @@ func (s *System) submitInstance(inv *Invocation, key dataflow.InstanceKey) {
 	if !s.static {
 		// Queue-pressure signal for the scaler: admitted, not yet completed
 		// (runInstance decrements on exit).
-		s.fns[key.Fn].pending.Add(1)
+		s.fns[key.Fn].pending.Add(inv.stripe, 1)
 	}
 	s.bg.Add(1)
 	for {
@@ -946,7 +1001,7 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	fn := key.Fn
 	st := s.fns[fn]
 	if !s.static {
-		defer st.pending.Add(-1)
+		defer st.pending.Add(inv.stripe, -1)
 	}
 	if s.qos != nil {
 		// Weighted-fair execution grant: immediate while the engine keeps
@@ -962,8 +1017,8 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	node, _ := s.routeFor(inv, st, nil)
 	if !s.static {
 		ld := s.nodeLoad[node]
-		ld.Add(1)
-		defer ld.Add(-1)
+		ld.Add(inv.stripe, 1)
+		defer ld.Add(inv.stripe, -1)
 		if s.qos != nil {
 			tc := s.nodeTenantLoad[node].counter(inv.tenant)
 			tc.Add(1)
@@ -987,8 +1042,10 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	// this function — node, in every normal flow). The sink calls nest
 	// under inv.mu (shard mutexes are leaf locks, the same order teardown
 	// uses), which spares a defensive copy of the arrived lists.
+	ctx := ctxPool.Get().(*Context)
+	defer releaseCtx(ctx)
 	inv.mu.Lock()
-	inputs := inv.tracker.InputsAppend(nil, key)
+	inputs, valBuf := inv.tracker.InputsAppendBacking(ctx.inputs[:0], ctx.valBuf[:0], key)
 	own := inv.arrivedFor(key)
 	shared := inv.arrivedFor(dataflow.InstanceKey{Fn: fn, Idx: dataflow.BroadcastIdx})
 	if len(own)+len(shared) > 0 {
@@ -1012,10 +1069,11 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 
 	limit := s.cfg.RetryLimit
 	h := st.handlerFn()
-	ctx := &Context{
+	*ctx = Context{
 		ReqID:    inv.ReqID,
 		Instance: key,
 		inputs:   inputs,
+		valBuf:   valBuf,
 		sys:      s,
 		inv:      inv,
 		ctr:      ctr,
@@ -1025,7 +1083,7 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 		s.traceEvent(trace.InstanceStarted, inv.ReqID, fn, key.Idx, "")
 		ctx.started = s.clk.Now()
 		err := h(ctx)
-		st.observe(s.clk.Since(ctx.started))
+		st.observe(inv.stripe, s.clk.Since(ctx.started))
 		if err == nil {
 			s.traceEvent(trace.InstanceFinished, inv.ReqID, fn, key.Idx, "")
 			return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -23,13 +24,32 @@ type Context struct {
 
 	// inputs holds the collected values per declared input in declaration
 	// order; functions declare a handful of inputs, so a linear scan beats
-	// building a map per instance run.
+	// building a map per instance run. valBuf is the shared backing of the
+	// input values; both are recycled with the Context through ctxPool.
 	inputs  []dataflow.InputVals
+	valBuf  []dataflow.Value
 	sys     *System
 	inv     *Invocation
 	ctr     *cluster.Container
 	fst     *fnState
 	started time.Time
+}
+
+// ctxPool recycles Context records and their input buffers across instance
+// executions. The pooling contract (see the README hot-path section): a
+// handler must not retain the Context, nor the slices returned by Input or
+// InputList, past its return — the payload bytes themselves are the user's
+// and may be kept.
+var ctxPool = sync.Pool{New: func() any { return new(Context) }}
+
+// releaseCtx zeroes the payload references a finished execution pinned and
+// returns the Context to the pool with its buffers retained.
+func releaseCtx(ctx *Context) {
+	inputs, valBuf := ctx.inputs, ctx.valBuf
+	clear(inputs)
+	clear(valBuf)
+	*ctx = Context{inputs: inputs[:0], valBuf: valBuf[:0]}
+	ctxPool.Put(ctx)
 }
 
 // inputVals returns the values of the named input and whether it exists.
@@ -95,12 +115,36 @@ func (c *Context) PutSwitch(output string, payload []byte, switchCase int) error
 	return c.put(output, one[:], switchCase)
 }
 
+// itemsBox is a recyclable backing array for one Put's routed items. Boxes
+// travel to the DLU daemon through cluster.DLUTask.Buf and return to the
+// pool once the items are shipped; every consumer of a routed item copies
+// it by value (recordArrived, tracker bookkeeping, sink puts), so the
+// backing is free the moment the daemon is done with the task.
+type itemsBox struct{ items []dataflow.Item }
+
+var itemsPool = sync.Pool{New: func() any { return new(itemsBox) }}
+
+// recycleItems returns a task's items backing to the pool, dropping the
+// payload references it pins first.
+func recycleItems(task cluster.DLUTask) {
+	box, ok := task.Buf.(*itemsBox)
+	if !ok {
+		return
+	}
+	clear(box.items)
+	box.items = box.items[:0]
+	itemsPool.Put(box)
+}
+
 func (c *Context) put(output string, values []dataflow.Value, switchCase int) error {
 	inv, s := c.inv, c.sys
+	box := itemsPool.Get().(*itemsBox)
 	inv.mu.Lock()
-	items, err := inv.tracker.Route(c.Instance, output, values, switchCase)
+	items, err := inv.tracker.RouteAppend(box.items[:0], c.Instance, output, values, switchCase)
 	inv.mu.Unlock()
+	box.items = items
 	if err != nil {
+		recycleItems(cluster.DLUTask{Buf: box})
 		return err
 	}
 	var totalSize int64
@@ -124,12 +168,12 @@ func (c *Context) put(output string, values []dataflow.Value, switchCase int) er
 	if s.trackPut {
 		// Transfer-size average for the Eq. 1 estimate the elastic scaler
 		// and the QoS governor share (transferPressure).
-		c.fst.putBytes.Add(totalSize)
-		c.fst.putCount.Add(1)
+		c.fst.putBytes.Add(c.inv.stripe, totalSize)
+		c.fst.putCount.Add(c.inv.stripe, 1)
 	}
 	// Hand the items to the container's DLU daemon (FIFO).
 	c.ctr.AddDLUPending(totalSize)
-	s.dluEnqueue(c.ctr, cluster.DLUTask{Ref: inv, Items: items})
+	s.dluEnqueue(c.ctr, cluster.DLUTask{Ref: inv, Items: items, Buf: box})
 	return nil
 }
 
@@ -170,6 +214,7 @@ func (s *System) dluEnqueue(ctr *cluster.Container, task cluster.DLUTask) {
 		for _, it := range task.Items {
 			ctr.AddDLUPending(-it.Value.Size)
 		}
+		recycleItems(task)
 		return
 	}
 	if queue != nil {
@@ -181,8 +226,15 @@ func (s *System) dluEnqueue(ctr *cluster.Container, task cluster.DLUTask) {
 	}
 }
 
+// DefaultDLUBatchTasks caps how many queued tasks one DLU batch drains.
+const DefaultDLUBatchTasks = 64
+
 // dluDaemon pumps routed items through pipe connectors in FIFO order.
 func (s *System) dluDaemon(ctr *cluster.Container, queue <-chan cluster.DLUTask) {
+	if s.cfg.BatchDLU && s.cfg.Trace == nil {
+		s.dluDaemonBatched(ctr, queue)
+		return
+	}
 	// limScratch is the daemon's reusable limiter pair for cross-node
 	// transfers; per-ship arrays would escape to the heap on every item.
 	var limScratch [2]*pipe.Limiter
@@ -192,7 +244,218 @@ func (s *System) dluDaemon(ctr *cluster.Container, queue <-chan cluster.DLUTask)
 			s.ship(ctr, inv, it, &limScratch)
 			ctr.AddDLUPending(-it.Value.Size)
 		}
+		recycleItems(task)
 	}
+}
+
+// dluGroup is one (invocation, destination-replica) shipment edge of a
+// batch. node is nil for user-destined items, which never touch a sink.
+type dluGroup struct {
+	inv   *Invocation
+	node  *cluster.Node
+	items []dataflow.Item
+}
+
+// dluBatch is the batched daemon's reusable drain scratch; its backings
+// survive across batches so steady-state batching allocates nothing.
+type dluBatch struct {
+	tasks  []cluster.DLUTask
+	groups []dluGroup
+	reqs   []wmm.PutReq
+}
+
+// addToGroup files one routed item under its shipment edge. Batches have a
+// handful of edges, so a linear scan beats a map.
+func (b *dluBatch) addToGroup(inv *Invocation, node *cluster.Node, it dataflow.Item) {
+	for i := range b.groups {
+		g := &b.groups[i]
+		if g.inv == inv && g.node == node {
+			g.items = append(g.items, it)
+			return
+		}
+	}
+	if n := len(b.groups); n < cap(b.groups) {
+		// Reuse the retired group's items backing.
+		b.groups = b.groups[:n+1]
+		g := &b.groups[n]
+		g.inv, g.node = inv, node
+		g.items = append(g.items[:0], it)
+		return
+	}
+	b.groups = append(b.groups, dluGroup{inv: inv, node: node, items: []dataflow.Item{it}})
+}
+
+// dluDaemonBatched is the coalescing DLU daemon (Config.BatchDLU): it
+// drains whatever the queue already holds into one batch and ships per
+// shipment edge. The drain never waits — a batch is whatever accumulated
+// while the previous one shipped — so an idle system flushes every task
+// immediately and a lone request pays no batching latency.
+func (s *System) dluDaemonBatched(ctr *cluster.Container, queue <-chan cluster.DLUTask) {
+	maxTasks := s.cfg.DLUBatchTasks
+	if maxTasks <= 0 {
+		maxTasks = DefaultDLUBatchTasks
+	}
+	var b dluBatch
+	for {
+		task, ok := <-queue
+		if !ok {
+			return
+		}
+		b.tasks = append(b.tasks[:0], task)
+	drain:
+		for len(b.tasks) < maxTasks {
+			select {
+			case task, more := <-queue:
+				if !more {
+					// Closed mid-drain: the buffered tasks all arrived
+					// before the close, so ship what we have and exit.
+					s.shipBatch(ctr, &b)
+					return
+				}
+				b.tasks = append(b.tasks, task)
+			default:
+				break drain // flush-on-idle
+			}
+		}
+		s.shipBatch(ctr, &b)
+	}
+}
+
+// shipBatch classifies every item of the drained tasks onto its shipment
+// edge, ships each edge with batched pipe/sink/accounting interactions, and
+// unwinds the whole batch's pending bytes in one call.
+func (s *System) shipBatch(ctr *cluster.Container, b *dluBatch) {
+	var pending int64
+	for ti := range b.tasks {
+		task := &b.tasks[ti]
+		inv := task.Ref.(*Invocation)
+		for _, it := range task.Items {
+			pending += it.Value.Size
+			var node *cluster.Node
+			if it.To.Fn != workflow.UserSource {
+				var ordinal int
+				node, ordinal = s.routeFor(inv, s.fns[it.To.Fn], ctr.Node)
+				it.Replica = ordinal
+			}
+			b.addToGroup(inv, node, it)
+		}
+		// Groups hold by-value copies, so the task backing is free now.
+		recycleItems(*task)
+		*task = cluster.DLUTask{}
+	}
+	b.tasks = b.tasks[:0]
+	for i := range b.groups {
+		s.shipGroup(ctr, &b.groups[i], b)
+	}
+	for i := range b.groups {
+		g := &b.groups[i]
+		clear(g.items) // drop payload references
+		g.items = g.items[:0]
+		g.inv, g.node = nil, nil
+	}
+	b.groups = b.groups[:0]
+	ctr.AddDLUPending(-pending)
+}
+
+// shipGroup moves one shipment edge's items: user delivery, the local pipe,
+// or — when every payload fits the socket fast path and no failure injector
+// is installed — one latency charge and one batched limiter charge for the
+// whole group. Streaming-sized or injectable payloads fall back to the
+// per-item ship (checkpoints and injection address individual streams).
+func (s *System) shipGroup(ctr *cluster.Container, g *dluGroup, b *dluBatch) {
+	if g.node == nil {
+		s.deliverBatch(g.inv, g.items, nil, nil)
+		return
+	}
+	if g.node == ctr.Node {
+		s.landBatch(g.inv, g.items, g.node, b)
+		return
+	}
+	small := s.injector.Load() == nil
+	var total int64
+	if small {
+		for i := range g.items {
+			size := g.items[i].Value.Size
+			if size > pipe.SmallDataThreshold {
+				small = false
+				break
+			}
+			total += size
+		}
+	}
+	if !small {
+		var limScratch [2]*pipe.Limiter
+		for _, it := range g.items {
+			s.ship(ctr, g.inv, it, &limScratch)
+		}
+		return
+	}
+	if s.cfg.TransferLatency > 0 {
+		ctr.Node.Clock().Sleep(s.cfg.TransferLatency)
+	}
+	ctr.Limiter.TakeN(len(g.items), total)
+	g.node.NIC.TakeN(len(g.items), total)
+	s.landBatch(g.inv, g.items, g.node, b)
+}
+
+// landBatch caches one edge's items in the destination sink with a single
+// multi-put, then advances the tracker for all of them under one lock hold.
+func (s *System) landBatch(inv *Invocation, items []dataflow.Item, node *cluster.Node, b *dluBatch) {
+	if s.ft && node.Health() == cluster.Down {
+		// The destination died while the shipment was in flight; repair is
+		// per-item (each pin rewrite may pick a different survivor).
+		for _, it := range items {
+			s.land(inv, it, node)
+		}
+		return
+	}
+	at := node.Elapsed()
+	b.reqs = b.reqs[:0]
+	for i := range items {
+		b.reqs = append(b.reqs, wmm.PutReq{
+			Key:       sinkKey(inv.ReqID, items[i]),
+			Val:       items[i].Value,
+			Consumers: 1,
+		})
+	}
+	node.Sink.PutBatch(at, b.reqs)
+	inv.sinkResidue.Add(int64(len(items)))
+	if !s.tracked(inv.ReqID) {
+		// Same in-flight-completion rule as the per-item land: the request
+		// may have finished while this batch shipped; the entries must not
+		// outlive it.
+		node.Sink.ReleaseRequest(node.Elapsed(), inv.ReqID)
+	}
+	s.deliverBatch(inv, items, b.reqs, node)
+	clear(b.reqs) // drop payload references
+	b.reqs = b.reqs[:0]
+}
+
+// deliverBatch advances the tracker with every item of one edge under a
+// single inv.mu hold. reqs carries the sink keys the items were cached
+// under, index-aligned with items (nil for user-destined edges).
+func (s *System) deliverBatch(inv *Invocation, items []dataflow.Item, reqs []wmm.PutReq, node *cluster.Node) {
+	inv.mu.Lock()
+	for i := range items {
+		it := items[i]
+		if it.To.Fn != workflow.UserSource {
+			inv.recordArrived(storeKeyOf(it), arrivedItem{item: it, key: reqs[i].Key, node: node})
+		}
+		newly, err := inv.tracker.DeliverInto(inv.readyScratch[:0], it)
+		inv.readyScratch = newly
+		if err != nil {
+			inv.mu.Unlock()
+			inv.fail(err)
+			return
+		}
+		for _, k := range newly {
+			s.submitInstance(inv, k)
+		}
+	}
+	if inv.tracker.Complete() {
+		inv.finishLocked()
+	}
+	inv.mu.Unlock()
 }
 
 // sinkKey derives the Wait-Match Memory key of an item deterministically
@@ -375,6 +638,10 @@ type arrivedBucket struct {
 	key      dataflow.InstanceKey
 	items    []arrivedItem
 	consumed bool
+	// inline seeds items so a bucket's first arrival costs no allocation;
+	// if the outer arrived slice reallocates, the moved bucket's items
+	// header keeps the old element's (heap-alive) inline storage valid.
+	inline [1]arrivedItem
 }
 
 // arrivedFor returns the arrived items recorded under key. Caller holds
@@ -396,7 +663,9 @@ func (inv *Invocation) recordArrived(key dataflow.InstanceKey, ai arrivedItem) {
 			return
 		}
 	}
-	inv.arrived = append(inv.arrived, arrivedBucket{key: key, items: []arrivedItem{ai}})
+	inv.arrived = append(inv.arrived, arrivedBucket{key: key})
+	b := &inv.arrived[len(inv.arrived)-1]
+	b.items = append(b.inline[:0], ai)
 }
 
 // deliver advances the tracker with the item and reacts to readiness and

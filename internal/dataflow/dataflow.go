@@ -330,21 +330,27 @@ func (t *Tracker) Emit(from InstanceKey, output string, values []Value, switchCa
 // delivering them. It fixes fan-out degrees (FOREACH) and records SWITCH
 // choices as a side effect, since both are known at emission time.
 func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchCase int) ([]Item, error) {
+	return t.RouteAppend(nil, from, output, values, switchCase)
+}
+
+// RouteAppend is Route appending the items to dst, so an engine routing a
+// stream of emissions can reuse one buffer instead of allocating a slice
+// per Put. On error dst is returned ungrown.
+func (t *Tracker) RouteAppend(dst []Item, from InstanceKey, output string, values []Value, switchCase int) ([]Item, error) {
 	f, ok := t.wf.Function(from.Fn)
 	if !ok {
-		return nil, fmt.Errorf("dataflow: unknown function %s", from.Fn)
+		return dst, fmt.Errorf("dataflow: unknown function %s", from.Fn)
 	}
 	o, ok := f.Output(output)
 	if !ok {
-		return nil, fmt.Errorf("dataflow: %s has no output %s", from.Fn, output)
+		return dst, fmt.Errorf("dataflow: %s has no output %s", from.Fn, output)
 	}
-	var items []Item
+	items := dst
 	switch o.Kind {
 	case workflow.Foreach:
 		if len(values) == 0 {
-			return nil, fmt.Errorf("dataflow: FOREACH output %s.%s emitted no values", from.Fn, output)
+			return dst, fmt.Errorf("dataflow: FOREACH output %s.%s emitted no values", from.Fn, output)
 		}
-		items = make([]Item, 0, len(values)*len(o.Dests))
 		for _, d := range o.Dests {
 			if d.Function == workflow.UserSource {
 				if t.foreachUser == nil {
@@ -357,7 +363,7 @@ func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchC
 				continue
 			}
 			if err := t.setFanout(d.Function, len(values)); err != nil {
-				return nil, err
+				return dst, err
 			}
 			for i, v := range values {
 				items = append(items, Item{
@@ -371,10 +377,10 @@ func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchC
 		}
 	case workflow.Switch:
 		if len(values) != 1 {
-			return nil, fmt.Errorf("dataflow: SWITCH output %s.%s needs exactly one value", from.Fn, output)
+			return dst, fmt.Errorf("dataflow: SWITCH output %s.%s needs exactly one value", from.Fn, output)
 		}
 		if switchCase < 0 || switchCase >= len(o.Dests) {
-			return nil, fmt.Errorf("dataflow: SWITCH case %d out of range for %s.%s", switchCase, from.Fn, output)
+			return dst, fmt.Errorf("dataflow: SWITCH case %d out of range for %s.%s", switchCase, from.Fn, output)
 		}
 		if t.switchChosen == nil {
 			t.switchChosen = make(map[string]int)
@@ -388,9 +394,8 @@ func (t *Tracker) Route(from InstanceKey, output string, values []Value, switchC
 		items = append(items, Item{From: from, Output: output, To: to, Input: d.Input, Value: values[0]})
 	default: // Normal, Merge
 		if len(values) != 1 {
-			return nil, fmt.Errorf("dataflow: output %s.%s needs exactly one value, got %d", from.Fn, output, len(values))
+			return dst, fmt.Errorf("dataflow: output %s.%s needs exactly one value, got %d", from.Fn, output, len(values))
 		}
-		items = make([]Item, 0, len(o.Dests))
 		for _, d := range o.Dests {
 			to := InstanceKey{Fn: d.Function, Idx: BroadcastIdx}
 			if d.Function == workflow.UserSource {
@@ -599,15 +604,29 @@ type InputVals struct {
 // that look inputs up positionally. All values share one backing array;
 // List inputs are ordered by producing instance like Inputs.
 func (t *Tracker) InputsAppend(dst []InputVals, key InstanceKey) []InputVals {
+	out, _ := t.InputsAppendBacking(dst, nil, key)
+	return out
+}
+
+// InputsAppendBacking is InputsAppend reusing a caller-supplied value
+// backing array too, so an engine recycling both buffers across instance
+// runs fetches inputs without allocating. It returns the grown dst and
+// backing; the caller must keep them together and may only reuse them once
+// it is done with the returned values.
+func (t *Tracker) InputsAppendBacking(dst []InputVals, backing []Value, key InstanceKey) ([]InputVals, []Value) {
 	ft := t.track(key.Fn)
 	if ft == nil {
-		return dst
+		return dst, backing
 	}
 	total := 0
 	for pos := range ft.f.Inputs {
 		total += len(ft.arrivedAt(key.Idx, pos)) + len(ft.broadcastAt(pos))
 	}
-	backing := make([]Value, 0, total)
+	if cap(backing) < total {
+		backing = make([]Value, 0, total)
+	} else {
+		backing = backing[:0]
+	}
 	for pos, in := range ft.f.Inputs {
 		own, shared := ft.arrivedAt(key.Idx, pos), ft.broadcastAt(pos)
 		start := len(backing)
@@ -633,7 +652,7 @@ func (t *Tracker) InputsAppend(dst []InputVals, key InstanceKey) []InputVals {
 		}
 		dst = append(dst, InputVals{Name: in.Name, Values: backing[start:len(backing):len(backing)]})
 	}
-	return dst
+	return dst, backing
 }
 
 // IsReady reports whether the instance has become ready.

@@ -102,8 +102,37 @@ func (l *Limiter) Take(n int64) {
 	if float64(n)*float64(time.Second) < rate {
 		return
 	}
+	l.charge(n)
+}
+
+// TakeN charges a batch of count items totalling n bytes in one debt
+// computation: one lock acquisition, one clock read and at most one timer
+// park for the whole batch, where count per-item Takes would pay count of
+// each. The bucket advances by the same total, so the long-run rate is
+// identical to per-item charging — except that TakeN never loses the batch
+// to per-item truncation: items individually under the one-nanosecond
+// charge floor (which Take skips) still pay once their batch total crosses
+// it, so a batch is if anything charged more faithfully than its items.
+func (l *Limiter) TakeN(count int, n int64) {
+	if l == nil || count <= 0 || n <= 0 {
+		return
+	}
+	rate := l.Rate()
+	if rate <= 0 {
+		return
+	}
+	if float64(n)*float64(time.Second) < rate {
+		return
+	}
+	l.charge(n)
+}
+
+// charge folds n bytes of debt into the bucket and parks for the
+// accumulated wait once it crosses the granularity. The rate is re-read
+// under the lock (see Take).
+func (l *Limiter) charge(n int64) {
 	l.mu.Lock()
-	rate = l.Rate()
+	rate := l.Rate()
 	if rate <= 0 {
 		l.mu.Unlock()
 		return

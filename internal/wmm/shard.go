@@ -80,6 +80,14 @@ type shard struct {
 	disk map[string]map[Key]*entry               // reqID -> key (spill tier)
 	ttl  expiryHeap
 
+	// Free lists recycle the hot-path allocations of a Put: the entry record
+	// and the two inner index maps. All reuse happens under sh.mu, so the
+	// lists need no further synchronization. Bounded so a burst's worth of
+	// garbage does not stay pinned forever.
+	freeEnts []*entry
+	freeData []map[string]*entry
+	freeFn   []map[string]map[string]*entry
+
 	// ttlStale counts heap items whose entry has already left the maps
 	// (consumed, replaced or released before its TTL fired). When stale
 	// items outnumber live ones the heap is compacted, so the skeletons
@@ -97,6 +105,78 @@ type shard struct {
 // compactMinHeap is the heap size below which compaction is not worth it.
 const compactMinHeap = 64
 
+// Free-list bounds: enough to absorb a steady-state invoke storm's churn,
+// small enough that an idle shard pins only a few KB.
+const (
+	freeEntCap = 256
+	freeMapCap = 64
+)
+
+// newEntry returns an entry initialized to {key, val, consumers}, reusing a
+// recycled record when one is available. Caller holds sh.mu.
+func (sh *shard) newEntry(key Key, v dataflow.Value, consumers int) *entry {
+	if n := len(sh.freeEnts); n > 0 {
+		e := sh.freeEnts[n-1]
+		sh.freeEnts[n-1] = nil
+		sh.freeEnts = sh.freeEnts[:n-1]
+		*e = entry{key: key, val: v, remaining: consumers}
+		return e
+	}
+	return &entry{key: key, val: v, remaining: consumers}
+}
+
+// recycleEntry returns e to the free list. The caller must have removed e
+// from both tier maps and must guarantee no expiry-heap skeleton still
+// points at it: e.hasTTL is false (never pushed, or cleared when the heap
+// item was popped/discarded). An entry whose skeleton is still queued is
+// instead val-zeroed and counted in ttlStale; the heap pop recycles it.
+// Caller holds sh.mu.
+func (sh *shard) recycleEntry(e *entry) {
+	if len(sh.freeEnts) >= freeEntCap {
+		return
+	}
+	*e = entry{}
+	sh.freeEnts = append(sh.freeEnts, e)
+}
+
+// newDataMap returns an empty data-name index map, recycled if possible.
+func (sh *shard) newDataMap() map[string]*entry {
+	if n := len(sh.freeData); n > 0 {
+		m := sh.freeData[n-1]
+		sh.freeData[n-1] = nil
+		sh.freeData = sh.freeData[:n-1]
+		return m
+	}
+	return make(map[string]*entry)
+}
+
+func (sh *shard) recycleDataMap(m map[string]*entry) {
+	if len(sh.freeData) >= freeMapCap {
+		return
+	}
+	clear(m)
+	sh.freeData = append(sh.freeData, m)
+}
+
+// newFnMap returns an empty function index map, recycled if possible.
+func (sh *shard) newFnMap() map[string]map[string]*entry {
+	if n := len(sh.freeFn); n > 0 {
+		m := sh.freeFn[n-1]
+		sh.freeFn[n-1] = nil
+		sh.freeFn = sh.freeFn[:n-1]
+		return m
+	}
+	return make(map[string]map[string]*entry)
+}
+
+func (sh *shard) recycleFnMap(m map[string]map[string]*entry) {
+	if len(sh.freeFn) >= freeMapCap {
+		return
+	}
+	clear(m)
+	sh.freeFn = append(sh.freeFn, m)
+}
+
 // maybeCompactTTL rebuilds the expiry heap without its stale items once
 // they outnumber the live ones. Amortized O(1) per operation: a rebuild
 // costs O(n) but at least n/2 stale items were discarded to earn it.
@@ -108,6 +188,11 @@ func (sh *shard) maybeCompactTTL() {
 	for _, e := range sh.ttl {
 		if dm := sh.fnMap(e.key); dm != nil && dm[e.key.Data] == e {
 			q = append(q, e)
+		} else {
+			// Discarded skeleton: the entry left the maps long ago and this
+			// was its last reference.
+			e.hasTTL = false
+			sh.recycleEntry(e)
 		}
 	}
 	for i := len(q); i < len(sh.ttl); i++ {
@@ -146,9 +231,11 @@ func (sh *shard) gcEmpty(key Key) {
 	}
 	if dataMap := fnMap[key.Fn]; dataMap != nil && len(dataMap) == 0 {
 		delete(fnMap, key.Fn)
+		sh.recycleDataMap(dataMap)
 	}
 	if len(fnMap) == 0 {
 		delete(sh.mem, key.ReqID)
+		sh.recycleFnMap(fnMap)
 	}
 }
 
@@ -167,10 +254,14 @@ func (s *Sink) expireLocked(sh *shard, at time.Duration) int {
 			break
 		}
 		sh.ttl.pop()
+		e.hasTTL = false // the heap skeleton is gone either way
 		dataMap := sh.fnMap(e.key)
 		if dataMap == nil || dataMap[e.key.Data] != e {
 			sh.ttlStale--
-			continue // stale: consumed, replaced or released since insertion
+			// Stale: consumed, replaced or released since insertion — the
+			// heap held the last reference.
+			sh.recycleEntry(e)
+			continue
 		}
 		delete(dataMap, e.key.Data)
 		sh.gcEmpty(e.key)
@@ -183,6 +274,7 @@ func (s *Sink) expireLocked(sh *shard, at time.Duration) int {
 			// on disk until request teardown — drop it instead. Under
 			// RetainInFlight the entry is a replay source and spills so it
 			// survives until the request completes.
+			sh.recycleEntry(e)
 			continue
 		}
 		reqDisk := sh.disk[e.key.ReqID]
@@ -230,10 +322,15 @@ func fnvMix(h uint32, s string) uint32 {
 	return h
 }
 
-// shardOf maps the multi-level key onto its lock stripe.
-func (s *Sink) shardOf(key Key) *shard {
+// shardIdx maps the multi-level key onto its lock-stripe index.
+func (s *Sink) shardIdx(key Key) uint32 {
 	h := fnvMix(fnvOffset32, key.ReqID)
 	h = fnvMix(h, key.Fn)
 	h = fnvMix(h, key.Data)
-	return &s.shards[h&s.mask]
+	return h & s.mask
+}
+
+// shardOf maps the multi-level key onto its lock stripe.
+func (s *Sink) shardOf(key Key) *shard {
+	return &s.shards[s.shardIdx(key)]
 }

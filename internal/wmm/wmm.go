@@ -169,31 +169,42 @@ func (s *Sink) Retains() bool { return s.opts.RetainInFlight }
 // destination FLUs that will fetch the datum (>=1); once they all have, the
 // entry is proactively released. Re-putting an existing key replaces it.
 func (s *Sink) Put(at time.Duration, key Key, v dataflow.Value, consumers int) {
-	if consumers < 1 {
-		consumers = 1
-	}
 	sh := s.shardOf(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	s.expireLocked(sh, at)
+	s.putLocked(sh, at, key, v, consumers)
+	sh.maybeCompactTTL()
+}
+
+// putLocked is Put's body once the stripe lock is held and pending
+// expirations have been applied; PutBatch amortizes the lock acquisition,
+// expiry pass and compaction check over many keys on the same stripe.
+// Caller holds sh.mu.
+func (s *Sink) putLocked(sh *shard, at time.Duration, key Key, v dataflow.Value, consumers int) {
+	if consumers < 1 {
+		consumers = 1
+	}
 	sh.stats.Puts++
 	fnMap := sh.mem[key.ReqID]
 	if fnMap == nil {
-		fnMap = make(map[string]map[string]*entry)
+		fnMap = sh.newFnMap()
 		sh.mem[key.ReqID] = fnMap
 	}
 	dataMap := fnMap[key.Fn]
 	if dataMap == nil {
-		dataMap = make(map[string]*entry)
+		dataMap = sh.newDataMap()
 		fnMap[key.Fn] = dataMap
 	}
 	if old, ok := dataMap[key.Data]; ok {
-		// The old entry's heap item (if any) goes stale and is discarded
-		// when popped or compacted; free its payload now.
 		s.adjustMem(sh, at, -old.val.Size)
-		old.val = dataflow.Value{}
 		if old.hasTTL {
+			// The old entry's heap item goes stale and is discarded (and
+			// recycled) when popped or compacted; free its payload now.
+			old.val = dataflow.Value{}
 			sh.ttlStale++
+		} else {
+			sh.recycleEntry(old)
 		}
 	}
 	// A TTL-spilled copy of the same key is superseded too; without this a
@@ -206,9 +217,10 @@ func (s *Sink) Put(at time.Duration, key Key, v dataflow.Value, consumers int) {
 				delete(sh.disk, key.ReqID)
 			}
 			s.diskBytes.Add(-old.val.Size)
+			sh.recycleEntry(old) // spilled entries hold no heap skeleton
 		}
 	}
-	e := &entry{key: key, val: v, remaining: consumers}
+	e := sh.newEntry(key, v, consumers)
 	if s.opts.TTL > 0 {
 		e.expiresAt = at + s.opts.TTL
 		e.hasTTL = true
@@ -216,7 +228,55 @@ func (s *Sink) Put(at time.Duration, key Key, v dataflow.Value, consumers int) {
 	}
 	dataMap[key.Data] = e
 	s.adjustMem(sh, at, v.Size)
-	sh.maybeCompactTTL()
+}
+
+// PutReq is one datum of a PutBatch.
+type PutReq struct {
+	Key       Key
+	Val       dataflow.Value
+	Consumers int
+}
+
+// PutBatch caches every req at time at — the multi-put half of the DLU
+// shipment batcher. Keys are grouped by lock stripe and each stripe is
+// locked exactly once for all of its keys, paying one lock acquisition, one
+// expiry pass and one compaction check where per-item Puts pay one of each
+// per key. Equivalent to calling Put for every req: stripes are
+// independent, and within a stripe the batch's order is preserved.
+func (s *Sink) PutBatch(at time.Duration, reqs []PutReq) {
+	if len(reqs) == 0 {
+		return
+	}
+	// Precompute stripe indices; typical DLU batches fit the stack scratch.
+	var inline [64]uint32
+	var idx []uint32
+	if len(reqs) <= len(inline) {
+		idx = inline[:len(reqs)]
+	} else {
+		idx = make([]uint32, len(reqs))
+	}
+	for i := range reqs {
+		idx[i] = s.shardIdx(reqs[i].Key)
+	}
+	const claimed = ^uint32(0) // never a stripe index (mask < 2^31)
+	for i := range reqs {
+		si := idx[i]
+		if si == claimed {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		s.expireLocked(sh, at)
+		for j := i; j < len(reqs); j++ {
+			if idx[j] != si {
+				continue
+			}
+			idx[j] = claimed
+			s.putLocked(sh, at, reqs[j].Key, reqs[j].Val, reqs[j].Consumers)
+		}
+		sh.maybeCompactTTL()
+		sh.mu.Unlock()
+	}
 }
 
 // Get fetches the datum for key, counting one consumer. It returns the
@@ -246,13 +306,15 @@ func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
 				s.adjustMem(sh, at, -val.Size)
 				sh.stats.ProactiveReleases++
 				sh.gcEmpty(key)
-				// The entry may sit in the expiry heap until its TTL fires
-				// or a compaction sweeps it; drop the payload now so only
-				// the skeleton (the identity the lazy-discard check needs)
-				// stays pinned.
-				e.val = dataflow.Value{}
 				if e.hasTTL {
+					// The entry sits in the expiry heap until its TTL fires
+					// or a compaction sweeps it; drop the payload now so
+					// only the skeleton (the identity the lazy-discard
+					// check needs) stays pinned. The pop recycles it.
+					e.val = dataflow.Value{}
 					sh.ttlStale++
+				} else {
+					sh.recycleEntry(e)
 				}
 			}
 			return val, Memory, true
@@ -262,20 +324,22 @@ func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
 		if e, ok := reqDisk[key]; ok {
 			sh.stats.DiskHits++
 			e.remaining--
+			val := e.val
 			if e.remaining <= 0 && !s.opts.DisableProactive {
 				if s.opts.RetainInFlight {
 					if e.remaining == 0 {
 						sh.stats.Retained++
 					}
-					return e.val, Disk, true
+					return val, Disk, true
 				}
 				delete(reqDisk, key)
 				if len(reqDisk) == 0 {
 					delete(sh.disk, key.ReqID)
 				}
-				s.diskBytes.Add(-e.val.Size)
+				s.diskBytes.Add(-val.Size)
+				sh.recycleEntry(e) // spilled entries hold no heap skeleton
 			}
-			return e.val, Disk, true
+			return val, Disk, true
 		}
 	}
 	sh.stats.Misses++
@@ -319,17 +383,22 @@ func (s *Sink) ReleaseRequest(at time.Duration, reqID string) {
 			for _, dataMap := range fnMap {
 				for _, e := range dataMap {
 					s.adjustMem(sh, at, -e.val.Size)
-					e.val = dataflow.Value{} // may still be heap-pinned
 					if e.hasTTL {
+						e.val = dataflow.Value{} // heap-pinned until popped
 						sh.ttlStale++
+					} else {
+						sh.recycleEntry(e)
 					}
 				}
+				sh.recycleDataMap(dataMap)
 			}
 			delete(sh.mem, reqID)
+			sh.recycleFnMap(fnMap)
 		}
 		if reqDisk, ok := sh.disk[reqID]; ok {
 			for _, e := range reqDisk {
 				s.diskBytes.Add(-e.val.Size)
+				sh.recycleEntry(e) // spilled entries hold no heap skeleton
 			}
 			delete(sh.disk, reqID)
 		}
