@@ -11,7 +11,9 @@
 //
 // The workload runs on an in-process cluster of -nodes worker nodes with
 // per-container resource shaping, and the command prints the result, the
-// end-to-end latency and the engine's routing table.
+// end-to-end latency and the engine's routing table. For the same engine
+// split across OS processes (Wait-Match Memory shards served over the TCP
+// transport), see cmd/node.
 package main
 
 import (

@@ -1,0 +1,105 @@
+package main_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+type stormSummary struct {
+	Requests  int   `json:"requests"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Replays   int64 `json:"replays"`
+}
+
+// TestTwoProcessWordCountSurvivesWorkerKill builds the node binary, runs a
+// coordinator plus two worker OS processes, SIGKILLs one worker mid-storm,
+// and requires the coordinator to finish at least 95% of the requests (its
+// own exit bar) — the fault-tolerance plane detecting the death from real
+// connection errors, not injected booleans.
+func TestTwoProcessWordCountSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := filepath.Join(t.TempDir(), "node")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	const requests = 200
+	var coordErr bytes.Buffer
+	coord := exec.Command(bin, "-mode=coord", "-listen=127.0.0.1:0",
+		"-workers=2", fmt.Sprintf("-requests=%d", requests), "-pace=2ms")
+	coord.Stderr = &coordErr
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill() //nolint:errcheck
+	// Backstop: a wedged coordinator must not hang the test binary.
+	timeout := time.AfterFunc(2*time.Minute, func() { coord.Process.Kill() }) //nolint:errcheck
+	defer timeout.Stop()
+
+	lines := bufio.NewScanner(stdout)
+	readUntil := func(prefix string) string {
+		t.Helper()
+		for lines.Scan() {
+			if strings.HasPrefix(lines.Text(), prefix) {
+				return lines.Text()
+			}
+		}
+		t.Fatalf("coordinator exited before %q\nstderr:\n%s", prefix, coordErr.String())
+		return ""
+	}
+
+	addrLine := readUntil("coord listening on ")
+	addr := strings.TrimPrefix(addrLine, "coord listening on ")
+
+	workers := make([]*exec.Cmd, 2)
+	for i := range workers {
+		w := exec.Command(bin, "-mode=worker", fmt.Sprintf("-name=w%d", i+1),
+			"-listen=127.0.0.1:0", "-coord="+addr)
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		defer func() {
+			w.Process.Kill() //nolint:errcheck
+			w.Wait()         //nolint:errcheck
+		}()
+	}
+
+	readUntil("storm started")
+	// Let the storm get going, then hard-kill one worker mid-run: the
+	// coordinator must finish the remaining ~3/4 of the storm on the
+	// survivor.
+	time.Sleep(100 * time.Millisecond)
+	if err := workers[0].Process.Kill(); err != nil {
+		t.Fatalf("kill worker: %v", err)
+	}
+
+	var sum stormSummary
+	if err := json.Unmarshal([]byte(readUntil("{")), &sum); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator failed: %v\nsummary: %+v\nstderr:\n%s", err, sum, coordErr.String())
+	}
+	t.Logf("summary: %+v", sum)
+	if sum.Requests != requests {
+		t.Fatalf("summary covers %d requests, want %d", sum.Requests, requests)
+	}
+	if sum.Completed*100 < int64(requests)*95 {
+		t.Fatalf("only %d/%d requests completed (stderr:\n%s)", sum.Completed, requests, coordErr.String())
+	}
+}

@@ -8,9 +8,12 @@
 // internal/experiments) regenerates every figure of the paper's evaluation.
 // Cross-cutting planes grow the reproduction toward production scale: an
 // elastic routing plane (replica sets + locality-aware pinning), a
-// fault-tolerance plane (health states + deterministic replay), and an
+// fault-tolerance plane (health states + deterministic replay), an
 // admission & QoS plane (internal/qos: per-tenant token buckets,
 // weighted-fair execution queueing, pressure-driven overload shedding —
-// off by default, exercised by `benchrunner -exp overload`). See README.md
-// for a tour and the package map.
+// off by default, exercised by `benchrunner -exp overload`), and a
+// real-transport plane (internal/transport: a Transport interface over
+// ship/land with an in-process implementation preserving the hot path and
+// a length-prefixed TCP framing, so cmd/node can split one cluster across
+// OS processes). See README.md for a tour and the package map.
 package repro

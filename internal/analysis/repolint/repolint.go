@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis/planegate"
 	"repro/internal/analysis/tracegate"
 	"repro/internal/analysis/wallclock"
+	"repro/internal/analysis/wiregate"
 )
 
 // Analyzers is the suite cmd/repolint runs, in diagnostic-name order.
@@ -20,4 +21,5 @@ var Analyzers = []*analysis.Analyzer{
 	planegate.Analyzer,
 	tracegate.Analyzer,
 	wallclock.Analyzer,
+	wiregate.Analyzer,
 }

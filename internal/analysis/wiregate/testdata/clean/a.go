@@ -1,0 +1,24 @@
+package a
+
+const FrameVersion = 1
+
+var wireVersions = map[int]string{
+	1: "wire:v1:854512d8966e1acc",
+}
+
+// Hello opens a connection.
+//
+//wire:struct
+type Hello struct {
+	Node string
+}
+
+// Put lands one datum.
+//
+//wire:struct
+type Put struct {
+	ReqID   string
+	Payload []byte
+}
+
+var _ = wireVersions

@@ -1,0 +1,30 @@
+package a
+
+const FrameVersion = 2
+
+var wireVersions = map[int]string{ // want `wire structs changed without a frame-version bump`
+	1: "wire:v1:0000000000000000",
+	2: "wire:v2:deadbeefdeadbeef",
+}
+
+// Hello opens a connection.
+//
+//wire:struct
+type Hello struct {
+	Node string
+}
+
+// Put lands one datum.
+//
+//wire:struct
+type Put struct {
+	ReqID   string
+	Payload []byte
+}
+
+// NotAStruct cannot carry the marker.
+//
+//wire:struct
+type NotAStruct int // want `//wire:struct marker on non-struct type NotAStruct`
+
+var _ = wireVersions

@@ -1,0 +1,16 @@
+package a
+
+const FrameVersion = 2
+
+var wireVersions = map[int]string{ // want `wireVersions has no pin for FrameVersion 2`
+	1: "wire:v1:0000000000000000",
+}
+
+// Hello opens a connection.
+//
+//wire:struct
+type Hello struct {
+	Node string
+}
+
+var _ = wireVersions

@@ -1,0 +1,17 @@
+package a
+
+const FrameVersion = 1 // want `FrameVersion 1 is below the highest pinned version 2`
+
+var wireVersions = map[int]string{ // want `wire structs changed without a frame-version bump`
+	1: "wire:v1:0000000000000000",
+	2: "wire:v2:0000000000000000",
+}
+
+// Hello opens a connection.
+//
+//wire:struct
+type Hello struct {
+	Node string
+}
+
+var _ = wireVersions

@@ -1,0 +1,211 @@
+// Package wiregate pins the wire protocol's shape to its frame version.
+//
+// Structs marked //wire:struct are the wire contract: their fields, in
+// declaration order, are the encoding. The package that declares them must
+// also declare a FrameVersion const and a wireVersions map pinning the
+// fingerprint of the marked-struct set at each version. The analyzer
+// recomputes the fingerprint from the declarations and fails when it does
+// not match the pin for FrameVersion — so a wire struct can only change
+// alongside a frame-version bump and a fresh pin, never silently.
+package wiregate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wiregate",
+	Doc: "pin //wire:struct shapes to the frame version\n\n" +
+		"In a package declaring //wire:struct types, the FrameVersion\n" +
+		"const and the wireVersions map must pin the fingerprint of the\n" +
+		"marked structs; any shape change must ship with a version bump\n" +
+		"and a new pin.",
+	Run: run,
+}
+
+// wireStruct is one marked struct's contribution to the fingerprint.
+type wireStruct struct {
+	name   string
+	fields []string
+	pos    token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var structs []wireStruct
+	var frameVersion int64
+	var frameVersionPos token.Pos
+	haveFrameVersion := false
+	var versionsLit *ast.CompositeLit
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					if !hasWireMarker(doc) {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						pass.Reportf(ts.Pos(), "//wire:struct marker on non-struct type %s", ts.Name.Name)
+						continue
+					}
+					structs = append(structs, wireStruct{
+						name:   ts.Name.Name,
+						fields: fieldShapes(st),
+						pos:    ts.Pos(),
+					})
+				}
+			case token.CONST:
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for i, name := range vs.Names {
+						if name.Name != "FrameVersion" || i >= len(vs.Values) {
+							continue
+						}
+						if v, ok := intConst(pass, vs.Values[i]); ok {
+							frameVersion, frameVersionPos, haveFrameVersion = v, name.Pos(), true
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for i, name := range vs.Names {
+						if name.Name != "wireVersions" || i >= len(vs.Values) {
+							continue
+						}
+						if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							versionsLit = cl
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if len(structs) == 0 {
+		return nil
+	}
+	if !haveFrameVersion {
+		pass.Reportf(structs[0].pos, "package declares //wire:struct types but no FrameVersion const to pin them to")
+		return nil
+	}
+	if versionsLit == nil {
+		pass.Reportf(frameVersionPos, "package declares //wire:struct types but no wireVersions map literal pinning their fingerprint")
+		return nil
+	}
+
+	want := fingerprint(frameVersion, structs)
+	pins := map[int64]string{}
+	var maxPinned int64
+	for _, elt := range versionsLit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		k, kok := intConst(pass, kv.Key)
+		v, vok := stringConst(pass, kv.Value)
+		if !kok || !vok {
+			pass.Reportf(kv.Pos(), "wireVersions entry is not a constant int -> string pair")
+			continue
+		}
+		pins[k] = v
+		if k > maxPinned {
+			maxPinned = k
+		}
+	}
+
+	pinned, ok := pins[frameVersion]
+	switch {
+	case !ok:
+		pass.Reportf(versionsLit.Pos(), "wireVersions has no pin for FrameVersion %d; pin %q", frameVersion, want)
+	case pinned != want:
+		pass.Reportf(versionsLit.Pos(), "wire structs changed without a frame-version bump: fingerprint is %q but wireVersions[%d] pins %q — bump FrameVersion and pin the new fingerprint", want, frameVersion, pinned)
+	}
+	if maxPinned > frameVersion {
+		pass.Reportf(frameVersionPos, "FrameVersion %d is below the highest pinned version %d", frameVersion, maxPinned)
+	}
+	return nil
+}
+
+// hasWireMarker reports whether the doc group carries a //wire:struct line
+// (gofmt keeps the marker as the doc group's last line).
+func hasWireMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//wire:struct" {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldShapes renders the struct's fields in declaration order — the order
+// is the encoding, so it is part of the shape.
+func fieldShapes(st *ast.StructType) []string {
+	var out []string
+	for _, field := range st.Fields.List {
+		typ := types.ExprString(field.Type)
+		if len(field.Names) == 0 {
+			out = append(out, typ) // embedded
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, name.Name+" "+typ)
+		}
+	}
+	return out
+}
+
+// fingerprint hashes the struct set: names sorted (declaration file order
+// must not matter), fields in declared order.
+func fingerprint(version int64, structs []wireStruct) string {
+	sorted := append([]wireStruct(nil), structs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	h := fnv.New64a()
+	for _, s := range sorted {
+		io.WriteString(h, s.name)                      //nolint:errcheck
+		io.WriteString(h, "{")                         //nolint:errcheck
+		io.WriteString(h, strings.Join(s.fields, ";")) //nolint:errcheck
+		io.WriteString(h, "}")                         //nolint:errcheck
+	}
+	return fmt.Sprintf("wire:v%d:%016x", version, h.Sum64())
+}
+
+func intConst(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+func stringConst(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

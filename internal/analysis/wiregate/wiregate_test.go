@@ -1,0 +1,18 @@
+package wiregate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wiregate"
+)
+
+func TestWiregate(t *testing.T) {
+	for _, dir := range []string{"flagged", "missing", "stale", "clean"} {
+		t.Run(dir, func(t *testing.T) {
+			analysistest.Run(t, wiregate.Analyzer,
+				filepath.Join("testdata", dir), "repro/internal/wirefake/"+dir)
+		})
+	}
+}

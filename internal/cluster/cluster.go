@@ -18,6 +18,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/metrics"
 	"repro/internal/pipe"
+	"repro/internal/transport"
 	"repro/internal/wmm"
 )
 
@@ -214,8 +215,21 @@ type Node struct {
 
 	// NIC is the node's aggregate network limiter.
 	NIC *pipe.Limiter
-	// Sink is the node's Wait-Match Memory data sink.
+	// Sink is the node's Wait-Match Memory data sink. Nil for remote nodes
+	// (NewRemoteNode), whose sink lives in another process — the engine
+	// reaches every sink through the Sink* wrappers (dataplane.go), which
+	// route through dp.
 	Sink *wmm.Sink
+
+	// dp is the node's data plane: the Transport every sink interaction
+	// crosses. For local nodes it is inproc (the direct path, also kept
+	// concretely for the streaming-pipe seam); for remote nodes it is a wire
+	// client and inproc is nil.
+	dp      transport.Transport
+	inproc  *transport.Inproc
+	remote  bool
+	retains bool
+	meter   transport.BpsMeter
 
 	// health is the node's position in the Up/Draining/Down state machine
 	// (health.go); an atomic because the engines consult it on routing hot
@@ -248,7 +262,7 @@ func NewNode(name string, opts Options) *Node {
 	if opts.NICBps > 0 {
 		nic = pipe.NewLimiter(clk, opts.NICBps)
 	}
-	return &Node{
+	n := &Node{
 		Name:       name,
 		clk:        clk,
 		opts:       opts,
@@ -259,6 +273,42 @@ func NewNode(name string, opts Options) *Node {
 		memInt:     metrics.NewIntegral(),
 		started:    clk.Now(),
 	}
+	n.inproc = transport.NewInproc(n.Sink, n.NIC, n.Elapsed)
+	n.dp = n.inproc
+	n.retains = opts.SinkRetain
+	return n
+}
+
+// NewRemoteNode returns a node whose Wait-Match Memory lives in another
+// process, reached through dp. The node still hosts local containers (FLU
+// threads run wherever the engine runs); only the data sink is remote.
+// retains reports the remote sink's retention mode (from the transport
+// handshake). dp implementations that measure throughput (BpsMeter) feed
+// the engine's pressure signal.
+func NewRemoteNode(name string, dp transport.Transport, retains bool, opts Options) *Node {
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewWall()
+	}
+	var nic *pipe.Limiter
+	if opts.NICBps > 0 {
+		nic = pipe.NewLimiter(clk, opts.NICBps)
+	}
+	n := &Node{
+		Name:       name,
+		clk:        clk,
+		opts:       opts,
+		NIC:        nic,
+		containers: make(map[string][]*Container),
+		idle:       make(map[string][]*Container),
+		memInt:     metrics.NewIntegral(),
+		started:    clk.Now(),
+	}
+	n.dp = dp
+	n.remote = true
+	n.retains = retains
+	n.meter, _ = dp.(transport.BpsMeter)
+	return n
 }
 
 // Clock returns the node's clock.

@@ -59,7 +59,22 @@ func (c *Cluster) FailNode(name string) error {
 		return fmt.Errorf("cluster: unknown node %q", name)
 	}
 	n.setHealth(Down)
-	n.Sink.Clear(n.Elapsed())
+	n.SinkClear() //nolint:errcheck // the node is being declared dead; an unreachable sink is already "cleared"
+	c.republish()
+	return nil
+}
+
+// MarkUnreachable marks the node Down without touching its sink — the
+// transition for a node detected dead over the wire (missed heartbeats,
+// connection resets). There is nothing to wipe: the process is gone, or
+// unreachable enough that a Clear RPC would only hang. Routing reacts
+// exactly as for FailNode; the engine repairs and replays pinned requests.
+func (c *Cluster) MarkUnreachable(name string) error {
+	n, ok := c.Node(name)
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	n.setHealth(Down)
 	c.republish()
 	return nil
 }
@@ -91,7 +106,7 @@ func (c *Cluster) RecoverNode(name string) error {
 		return fmt.Errorf("cluster: unknown node %q", name)
 	}
 	if n.Health() == Down {
-		n.Sink.Clear(n.Elapsed())
+		n.SinkClear() //nolint:errcheck // best effort: a still-unreachable sink fails the next ship, not the recovery
 	}
 	n.setHealth(Up)
 	c.republish()

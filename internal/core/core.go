@@ -225,6 +225,11 @@ type System struct {
 	// is invalid and every request must run the ReleaseRequest sweep.
 	sinkRetain bool
 
+	// hasRemote is true when any cluster node's sink lives in another
+	// process: the Eq. 1 pressure signal then consults the measured wire
+	// throughput (remoteBpsFloor) alongside the configured TC rate.
+	hasRemote bool
+
 	// routedNodes are the unique nodes hosting at least one function — on
 	// the static path, the only sinks a request can leave residue in, and
 	// therefore the only nodes its teardown needs to sweep. (Elastic
@@ -398,8 +403,11 @@ func NewSystem(cfg Config) (*System, error) {
 			s.allNodes = append(s.allNodes, n)
 			s.nodeNames = append(s.nodeNames, name)
 			s.nodeLoad[n] = new(stripedCounter)
-			if n.Sink.Retains() {
+			if n.SinkRetains() {
 				s.sinkRetain = true
+			}
+			if n.Remote() {
+				s.hasRemote = true
 			}
 		}
 	}
@@ -796,7 +804,7 @@ func (inv *Invocation) finishLocked() {
 			for _, ai := range b.items {
 				// ai.node is the node the item landed on (the request's
 				// pinned replica for that function).
-				if _, _, ok := ai.node.Sink.Get(ai.node.Elapsed(), ai.key); ok {
+				if _, ok, err := ai.node.SinkGet(ai.key); err == nil && ok {
 					inv.sinkResidue.Add(-1)
 				}
 			}
@@ -807,7 +815,7 @@ func (inv *Invocation) finishLocked() {
 	}
 	if inv.sys.static {
 		for _, n := range inv.sys.routedNodes {
-			n.Sink.ReleaseRequest(n.Elapsed(), inv.ReqID)
+			n.SinkRelease(inv.ReqID) //nolint:errcheck // best effort: an unreachable sink holds nothing to release
 		}
 		return
 	}
@@ -815,8 +823,7 @@ func (inv *Invocation) finishLocked() {
 	// node (land routes through routeFor before touching a sink), so the
 	// sweep covers exactly the request's pins instead of the whole fleet.
 	for i := range inv.route {
-		n := inv.route[i].node
-		n.Sink.ReleaseRequest(n.Elapsed(), inv.ReqID)
+		inv.route[i].node.SinkRelease(inv.ReqID) //nolint:errcheck // best effort: an unreachable sink holds nothing to release
 	}
 }
 
@@ -834,12 +841,15 @@ func (s *System) PendingInvocations() int {
 	return s.invs.count()
 }
 
-// SinkStats merges the Wait-Match Memory counters of every cluster node.
+// SinkStats merges the Wait-Match Memory counters of every cluster node
+// (unreachable remote sinks contribute nothing).
 func (s *System) SinkStats() wmm.Stats {
 	var out wmm.Stats
 	for _, name := range s.cfg.Cluster.Nodes() {
 		if n, ok := s.cfg.Cluster.Node(name); ok {
-			out.Merge(n.Sink.Stats())
+			if st, err := n.SinkStats(); err == nil {
+				out.Merge(st)
+			}
 		}
 	}
 	return out
@@ -1049,14 +1059,16 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	own := inv.arrivedFor(key)
 	shared := inv.arrivedFor(dataflow.InstanceKey{Fn: fn, Idx: dataflow.BroadcastIdx})
 	if len(own)+len(shared) > 0 {
-		at := node.Elapsed()
 		for _, ai := range own {
-			if _, _, ok := ai.node.Sink.Get(at, ai.key); ok {
+			// The consuming Get is accounting (proactive release): the input
+			// values themselves come from the tracker, so an unreachable
+			// remote sink costs residue, not correctness.
+			if _, ok, err := ai.node.SinkGet(ai.key); err == nil && ok {
 				inv.sinkResidue.Add(-1)
 			}
 		}
 		for _, ai := range shared {
-			ai.node.Sink.Peek(at, ai.key)
+			ai.node.SinkPeek(ai.key) //nolint:errcheck // freshness touch only; broadcast data is read from the tracker
 		}
 	}
 	if s.ft {

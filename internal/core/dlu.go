@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/pipe"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/wmm"
 	"repro/internal/workflow"
 )
@@ -154,6 +155,14 @@ func (c *Context) put(output string, values []dataflow.Value, switchCase int) er
 	// Pressure-aware scaling (Eq. 1): Pressure = α·Size/Bw − T_FLU.
 	if !s.cfg.DisablePressure && totalSize > 0 {
 		bw := c.ctr.Limiter.Rate()
+		if s.hasRemote {
+			// Real socket backpressure: when a destination is remote, the
+			// measured wire throughput replaces the configured TC rate if it
+			// is the tighter constraint.
+			if obs := s.remoteBpsFloor(inv, items); obs > 0 && (bw <= 0 || obs < bw) {
+				bw = obs
+			}
+		}
 		if bw > 0 {
 			tflu := c.fst.avg()
 			pressure := time.Duration(s.cfg.Alpha*float64(totalSize)/bw*float64(time.Second)) - tflu
@@ -227,7 +236,46 @@ func (s *System) dluEnqueue(ctr *cluster.Container, task cluster.DLUTask) {
 }
 
 // DefaultDLUBatchTasks caps how many queued tasks one DLU batch drains.
-const DefaultDLUBatchTasks = 64
+//
+// Deprecated: the cap moved to the transport layer with the Transport
+// interface; use transport.DefaultBatchTasks.
+const DefaultDLUBatchTasks = transport.DefaultBatchTasks
+
+// remoteBpsFloor returns the lowest observed wire throughput among the
+// remote nodes this Put's items are destined for (0 when none is measured
+// yet). Called only when the cluster has remote nodes, off the bench-gated
+// local hot path.
+func (s *System) remoteBpsFloor(inv *Invocation, items []dataflow.Item) float64 {
+	floor := 0.0
+	for i := range items {
+		fn := items[i].To.Fn
+		if fn == workflow.UserSource {
+			continue
+		}
+		st, ok := s.fns[fn]
+		if !ok {
+			continue
+		}
+		// The request's pin, when one exists, names the node the items will
+		// actually cross the wire to; otherwise the primary is the best guess.
+		node := st.primary()
+		inv.mu.Lock()
+		for j := range inv.route {
+			if inv.route[j].fn == fn {
+				node = inv.route[j].node
+				break
+			}
+		}
+		inv.mu.Unlock()
+		if !node.Remote() {
+			continue
+		}
+		if obs := node.ObservedBps(); obs > 0 && (floor == 0 || obs < floor) {
+			floor = obs
+		}
+	}
+	return floor
+}
 
 // dluDaemon pumps routed items through pipe connectors in FIFO order.
 func (s *System) dluDaemon(ctr *cluster.Container, queue <-chan cluster.DLUTask) {
@@ -235,13 +283,10 @@ func (s *System) dluDaemon(ctr *cluster.Container, queue <-chan cluster.DLUTask)
 		s.dluDaemonBatched(ctr, queue)
 		return
 	}
-	// limScratch is the daemon's reusable limiter pair for cross-node
-	// transfers; per-ship arrays would escape to the heap on every item.
-	var limScratch [2]*pipe.Limiter
 	for task := range queue {
 		inv := task.Ref.(*Invocation)
 		for _, it := range task.Items {
-			s.ship(ctr, inv, it, &limScratch)
+			s.ship(ctr, inv, it)
 			ctr.AddDLUPending(-it.Value.Size)
 		}
 		recycleItems(task)
@@ -362,21 +407,26 @@ func (s *System) shipBatch(ctr *cluster.Container, b *dluBatch) {
 // is installed — one latency charge and one batched limiter charge for the
 // whole group. Streaming-sized or injectable payloads fall back to the
 // per-item ship (checkpoints and injection address individual streams).
+// Remote edges always ship whole batches: the socket is the wire, so one
+// frame per edge is exactly the batched amortization the transport exists
+// for (a payload larger than the frame cap fails the request with
+// transport.ErrFrameTooLarge rather than silently splitting).
 func (s *System) shipGroup(ctr *cluster.Container, g *dluGroup, b *dluBatch) {
 	if g.node == nil {
 		s.deliverBatch(g.inv, g.items, nil, nil)
 		return
 	}
 	if g.node == ctr.Node {
-		s.landBatch(g.inv, g.items, g.node, b)
+		s.landBatch(g.inv, g.items, g.node, b, transport.Pacing{})
 		return
 	}
-	small := s.injector.Load() == nil
+	remote := g.node.Remote()
+	small := remote || s.injector.Load() == nil
 	var total int64
 	if small {
 		for i := range g.items {
 			size := g.items[i].Value.Size
-			if size > pipe.SmallDataThreshold {
+			if !remote && size > pipe.SmallDataThreshold {
 				small = false
 				break
 			}
@@ -384,32 +434,33 @@ func (s *System) shipGroup(ctr *cluster.Container, g *dluGroup, b *dluBatch) {
 		}
 	}
 	if !small {
-		var limScratch [2]*pipe.Limiter
 		for _, it := range g.items {
-			s.ship(ctr, g.inv, it, &limScratch)
+			s.ship(ctr, g.inv, it)
 		}
 		return
 	}
 	if s.cfg.TransferLatency > 0 {
 		ctr.Node.Clock().Sleep(s.cfg.TransferLatency)
 	}
-	ctr.Limiter.TakeN(len(g.items), total)
-	g.node.NIC.TakeN(len(g.items), total)
-	s.landBatch(g.inv, g.items, g.node, b)
+	s.landBatch(g.inv, g.items, g.node, b, transport.Pacing{
+		Src:   ctr.Limiter,
+		Items: len(g.items),
+		Bytes: total,
+	})
 }
 
 // landBatch caches one edge's items in the destination sink with a single
 // multi-put, then advances the tracker for all of them under one lock hold.
-func (s *System) landBatch(inv *Invocation, items []dataflow.Item, node *cluster.Node, b *dluBatch) {
+// pace carries the batch's source-side wire charge (zero for local pipes).
+func (s *System) landBatch(inv *Invocation, items []dataflow.Item, node *cluster.Node, b *dluBatch, pace transport.Pacing) {
 	if s.ft && node.Health() == cluster.Down {
 		// The destination died while the shipment was in flight; repair is
 		// per-item (each pin rewrite may pick a different survivor).
 		for _, it := range items {
-			s.land(inv, it, node)
+			s.land(inv, it, node, transport.Pacing{})
 		}
 		return
 	}
-	at := node.Elapsed()
 	b.reqs = b.reqs[:0]
 	for i := range items {
 		b.reqs = append(b.reqs, wmm.PutReq{
@@ -418,13 +469,26 @@ func (s *System) landBatch(inv *Invocation, items []dataflow.Item, node *cluster
 			Consumers: 1,
 		})
 	}
-	node.Sink.PutBatch(at, b.reqs)
+	if err := node.SinkShip(pace, b.reqs); err != nil {
+		clear(b.reqs)
+		b.reqs = b.reqs[:0]
+		if s.noteUnreachable(node, err) {
+			// The edge's destination died under the shipment: repair is
+			// per-item, and the wire charge dies with the connection.
+			for _, it := range items {
+				s.land(inv, it, node, transport.Pacing{})
+			}
+			return
+		}
+		inv.fail(fmt.Errorf("core: batched ship to %s failed: %w", node.Name, err))
+		return
+	}
 	inv.sinkResidue.Add(int64(len(items)))
 	if !s.tracked(inv.ReqID) {
 		// Same in-flight-completion rule as the per-item land: the request
 		// may have finished while this batch shipped; the entries must not
 		// outlive it.
-		node.Sink.ReleaseRequest(node.Elapsed(), inv.ReqID)
+		node.SinkRelease(inv.ReqID) //nolint:errcheck // best effort: an unreachable sink holds nothing to release
 	}
 	s.deliverBatch(inv, items, b.reqs, node)
 	clear(b.reqs) // drop payload references
@@ -503,10 +567,13 @@ func writeInstanceKey(b *strings.Builder, key dataflow.InstanceKey) {
 }
 
 // ship moves one item to its destination: straight to the user, through the
-// local pipe when src and dst share a node, or through the streaming pipe /
-// small-data socket across nodes. On arrival the destination sink caches
-// the payload and the tracker is advanced, possibly triggering instances.
-func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item, limScratch *[2]*pipe.Limiter) {
+// local pipe when src and dst share a node, or across nodes — the socket
+// fast path for small payloads and every remote destination (one latency
+// charge, one paced land), the streaming pipe for streaming-sized local
+// payloads (chunked, checkpointed, injectable). On arrival the destination
+// sink caches the payload and the tracker is advanced, possibly triggering
+// instances.
+func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item) {
 	if s.cfg.Trace != nil {
 		s.traceEvent(trace.DataSent, inv.ReqID, it.From.Fn, it.From.Idx,
 			fmt.Sprintf("%s->%s %dB", it.Output, it.To, it.Value.Size))
@@ -527,52 +594,50 @@ func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item,
 
 	if dstNode == srcNode {
 		// Local pipe connector: pump straight into the local data sink.
-		s.land(inv, it, dstNode)
+		s.land(inv, it, dstNode, transport.Pacing{})
 		return
 	}
-	// Cross-node: stream through the source container's TC class and the
-	// destination node NIC, checkpointing incrementally. Payloads at or
-	// below the socket threshold record no checkpoints (an interrupted
-	// small send is redone whole), so they skip the checkpoint log — and
-	// the stream-ID formatting entirely, unless a failure injector needs
-	// the stream's address.
 	small := int64(len(payload)) <= pipe.SmallDataThreshold
 	injecting := s.injector.Load() != nil
-	var streamID string
-	if !small || injecting {
-		streamID = streamIDOf(inv.ReqID, it)
+	if dstNode.Remote() || (small && !injecting) {
+		// Socket path: the latency charge here, the limiter charge inside the
+		// land (the transport is the wire). Remote destinations always take
+		// it — their wire is a real socket, which needs none of the simulated
+		// chunking.
+		if s.cfg.TransferLatency > 0 {
+			srcNode.Clock().Sleep(s.cfg.TransferLatency)
+		}
+		s.land(inv, it, dstNode, transport.Pacing{
+			Src:   ctr.Limiter,
+			Items: 1,
+			Bytes: it.Value.Size,
+		})
+		return
 	}
-	limScratch[0], limScratch[1] = ctr.Limiter, dstNode.NIC
-	tr := pipe.Transfer{
-		StreamID:  streamID,
-		Payload:   payload,
-		ChunkSize: s.cfg.ChunkSize,
-		Limiters:  limScratch[:],
-		Latency:   s.cfg.TransferLatency,
-		FailAfter: -1,
-		Clock:     srcNode.Clock(),
-	}
-	if !small {
-		tr.Log = s.checkLog
-	}
+	// Streaming pipe: chunked through the source container's TC class and
+	// the destination node NIC, checkpointing incrementally (payloads at or
+	// below the socket threshold reach here only for injection, and record
+	// no checkpoints — an interrupted small send is redone whole).
+	streamID := streamIDOf(inv.ReqID, it)
+	var failAfter func() int64
 	if injecting {
-		tr.FailAfter = s.failAfter(streamID)
+		failAfter = func() int64 { return s.failAfter(streamID) }
 	}
-	deliver := func(off int64, chunk []byte, total int64) {}
-	_, err := tr.Run(0, deliver)
-	for attempt := 0; err != nil && attempt < s.cfg.RetryLimit; attempt++ {
-		// ReDo from the last good checkpoint (§6.2).
-		tr.FailAfter = s.failAfter(streamID) // re-ask the injector
-		_, err = tr.Resume(deliver)
-	}
+	err := dstNode.Inproc().Stream(transport.StreamSpec{
+		ID:        streamID,
+		Src:       ctr.Limiter,
+		ChunkSize: s.cfg.ChunkSize,
+		Latency:   s.cfg.TransferLatency,
+		Log:       s.checkLog,
+		FailAfter: failAfter,
+		Retries:   s.cfg.RetryLimit,
+		Clock:     srcNode.Clock(),
+	}, payload)
 	if err != nil {
 		inv.fail(fmt.Errorf("core: transfer %s failed: %w", streamID, err))
 		return
 	}
-	if tr.Log != nil {
-		tr.Log.Clear(streamID)
-	}
-	s.land(inv, it, dstNode)
+	s.land(inv, it, dstNode, transport.Pacing{})
 }
 
 // streamIDOf formats the cross-node stream identifier
@@ -593,15 +658,32 @@ func streamIDOf(reqID string, it dataflow.Item) string {
 }
 
 // land caches the item in the destination node's sink, advances the
-// tracker and schedules newly ready instances.
-func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node) {
+// tracker and schedules newly ready instances. pace carries the item's
+// source-side wire charge (zero for local pipes and replays).
+func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node, pace transport.Pacing) {
 	if s.ft && dstNode.Health() == cluster.Down {
 		// The destination died while the shipment was in flight: repair the
 		// request's pins and land on the survivor instead.
 		dstNode, it.Replica = s.relandTarget(inv, it.To.Fn)
 	}
 	key := sinkKey(inv.ReqID, it)
-	dstNode.Sink.Put(dstNode.Elapsed(), key, it.Value, 1)
+	for attempt := 0; ; attempt++ {
+		err := dstNode.SinkLand(pace, wmm.PutReq{Key: key, Val: it.Value, Consumers: 1})
+		if err == nil {
+			break
+		}
+		if s.noteUnreachable(dstNode, err) && attempt < s.cfg.RetryLimit {
+			// The destination died mid-land: repair and retry on the
+			// survivor. The wire charge died with the connection, so the
+			// retry lands unpaced.
+			dstNode, it.Replica = s.relandTarget(inv, it.To.Fn)
+			key = sinkKey(inv.ReqID, it)
+			pace = transport.Pacing{}
+			continue
+		}
+		inv.fail(fmt.Errorf("core: land %s on %s failed: %w", key.Data, dstNode.Name, err))
+		return
+	}
 	inv.sinkResidue.Add(1)
 	if !s.tracked(inv.ReqID) {
 		// The request completed while this shipment was in flight (e.g. the
@@ -610,7 +692,7 @@ func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node) 
 		// zero residue) — or runs after our Put, in which case this extra
 		// release is a no-op. Either way the just-cached entry must not
 		// outlive the request.
-		dstNode.Sink.ReleaseRequest(dstNode.Elapsed(), inv.ReqID)
+		dstNode.SinkRelease(inv.ReqID) //nolint:errcheck // best effort: an unreachable sink holds nothing to release
 	}
 	if s.cfg.Trace != nil {
 		s.traceEvent(trace.DataArrived, inv.ReqID, it.To.Fn, it.To.Idx,

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataflow"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // This file is the runtime plane's fault-tolerance plane (Config.
@@ -34,6 +35,23 @@ import (
 // is gone either way), and the next touch of the pin repairs it. The
 // request's tracker state is engine-local and never lost, so replay can
 // only run ahead of, never behind, the data-availability bookkeeping.
+
+// noteUnreachable classifies a data-plane error. When the fault-tolerance
+// plane is on and the error is a liveness failure (transport.Unreachable:
+// timeouts, connection resets, closed transports), the node is marked Down —
+// the wire itself is the failure detector, no injected booleans — and the
+// caller should repair and re-land on a survivor. Protocol errors
+// (ErrBadFrame, ErrFrameTooLarge) and every error in fault-oblivious mode
+// return false: they are the caller's to surface.
+func (s *System) noteUnreachable(n *cluster.Node, err error) bool {
+	if !s.ft || !transport.Unreachable(err) {
+		return false
+	}
+	if n.Health() != cluster.Down {
+		s.cfg.Cluster.MarkUnreachable(n.Name) //nolint:errcheck // n came from the cluster's own registry
+	}
+	return true
+}
 
 // repairLocked rewrites every dead pin of the request onto a surviving
 // replica and replays the lost data there. Caller holds inv.mu. Pins are
@@ -66,7 +84,6 @@ func (s *System) repairLocked(inv *Invocation) {
 // teardown address the survivor's sink. Caller holds inv.mu.
 func (s *System) replayLocked(inv *Invocation, fn string, dead, next *cluster.Node, ordinal int) int {
 	replayed := 0
-	at := next.Elapsed()
 	for b := range inv.arrived {
 		bucket := &inv.arrived[b]
 		if bucket.key.Fn != fn || bucket.consumed {
@@ -80,7 +97,11 @@ func (s *System) replayLocked(inv *Invocation, fn string, dead, next *cluster.No
 			ai.item.Replica = ordinal
 			ai.key = sinkKey(inv.ReqID, ai.item)
 			ai.node = next
-			next.Sink.Put(at, ai.key, ai.item.Value, 1)
+			if err := next.SinkPut(ai.key, ai.item.Value, 1); err != nil {
+				// The survivor died too; the next pin touch repairs again.
+				s.noteUnreachable(next, err)
+				continue
+			}
 			inv.sinkResidue.Add(1)
 			replayed++
 		}

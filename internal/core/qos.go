@@ -132,9 +132,10 @@ func (s *System) governTick() {
 	}
 	var resident int64
 	for _, n := range s.allNodes {
-		// MemBytes is one atomic load per node and includes any
-		// replay-retained entries (they stay in the memory tier).
-		resident += n.Sink.MemBytes()
+		// MemBytes is one atomic load per node (remote sinks report the
+		// heartbeat-piggybacked gauge) and includes any replay-retained
+		// entries (they stay in the memory tier).
+		resident += n.SinkMemBytes()
 	}
 	waiting, inflight, tenants := s.qos.queue.Snapshot()
 	s.qos.governor.Update(qos.Sample{

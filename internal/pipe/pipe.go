@@ -16,6 +16,13 @@
 // The package substitutes the paper's Kafka-based connector: topics map to
 // stream IDs, partitions to per-container streams, and Kafka's offset
 // tracking to the CheckpointLog.
+//
+// The engine no longer calls these primitives directly: ship/land go
+// through internal/transport, whose in-process implementation
+// (transport.Inproc) composes the limiters, the checkpointed streaming
+// transfer and the sink put exactly as the DLU daemon used to inline —
+// and whose TCP implementation replaces the shaped in-memory copy with a
+// real socket.
 package pipe
 
 import (

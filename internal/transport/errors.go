@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Typed wire errors. Every error a Transport returns wraps one of these
+// sentinels (via WireError), so callers key failure handling off
+// errors.Is instead of string matching or injected booleans:
+//
+//   - ErrTimeout: the operation's deadline expired (a missed heartbeat, a
+//     stalled peer, a saturated socket that never drained).
+//   - ErrConnReset: the connection died mid-operation or cannot be
+//     (re)established — the peer process is gone or unreachable.
+//   - ErrFrameTooLarge: a frame exceeded the negotiated size cap, either
+//     outbound (payload too big to frame) or inbound (a corrupt or hostile
+//     length prefix).
+//   - ErrBadFrame: the peer sent bytes that do not decode as the protocol
+//     version/shape this side speaks.
+//   - ErrClosed: the transport was closed locally; no further operations.
+var (
+	ErrTimeout       = errors.New("transport: timeout")
+	ErrConnReset     = errors.New("transport: connection reset")
+	ErrFrameTooLarge = errors.New("transport: frame too large")
+	ErrBadFrame      = errors.New("transport: malformed frame")
+	ErrClosed        = errors.New("transport: closed")
+)
+
+// WireError decorates a typed wire error with the failing operation and the
+// peer address, preserving errors.Is/As through Unwrap. Kind is one of the
+// sentinel errors above; Cause (optional) is the underlying I/O error.
+type WireError struct {
+	Op    string // "ship", "get", "ping", "dial", ...
+	Addr  string // peer address, empty for inproc
+	Kind  error  // sentinel: ErrTimeout, ErrConnReset, ...
+	Cause error  // underlying error, may be nil
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	msg := fmt.Sprintf("%v (op %s", e.Kind, e.Op)
+	if e.Addr != "" {
+		msg += " to " + e.Addr
+	}
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg + ")"
+}
+
+// Unwrap exposes the sentinel so errors.Is(err, ErrTimeout) etc. work.
+func (e *WireError) Unwrap() error { return e.Kind }
+
+// wireErr builds a WireError.
+func wireErr(op, addr string, kind, cause error) *WireError {
+	return &WireError{Op: op, Addr: addr, Kind: kind, Cause: cause}
+}
+
+// Unreachable reports whether err is evidence that the peer is gone or not
+// answering — the errors that should drive failure detection (health
+// transitions, pin repair) rather than request failure. A malformed or
+// oversized frame is a protocol bug, not a liveness signal, and returns
+// false.
+func Unreachable(err error) bool {
+	return errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrConnReset) ||
+		errors.Is(err, ErrClosed)
+}
+
+// classify maps an I/O error from the net layer onto the typed taxonomy.
+func classify(op, addr string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return wireErr(op, addr, ErrTimeout, err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) {
+		return wireErr(op, addr, ErrConnReset, err)
+	}
+	if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrBadFrame) {
+		return wireErr(op, addr, errors.Unwrap(err), err)
+	}
+	var we *WireError
+	if errors.As(err, &we) {
+		return err
+	}
+	// Anything else from a socket op (ECONNREFUSED, ECONNRESET, EPIPE,
+	// unreachable host, ...) means the peer is not there to talk to.
+	return wireErr(op, addr, ErrConnReset, err)
+}

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/wmm"
+)
+
+// FrameVersion is the protocol version stamped into every frame header.
+// Bump it whenever any //wire:struct changes shape — the wiregate repolint
+// analyzer enforces that the structs' fingerprint below matches the
+// version, so a silent wire change cannot ship.
+const FrameVersion = 1
+
+// wireVersions pins the fingerprint of the //wire:struct set at each frame
+// version. The wiregate analyzer recomputes the fingerprint from the struct
+// declarations and fails the build when it differs from the entry for
+// FrameVersion (wire change without a version bump) or when FrameVersion is
+// not the highest pinned version.
+var wireVersions = map[int]string{
+	1: "wire:v1:d157a25e4bf1fe36",
+}
+
+// fingerprintAt exposes the pinned fingerprint for tests.
+func fingerprintAt(v int) string { return wireVersions[v] }
+
+// ---- wire structs ----
+//
+// Every struct below is part of the wire contract (marked //wire:struct for
+// the wiregate analyzer). Field order is the encoding order.
+
+// Hello opens a connection: the client names the hosted node whose
+// Wait-Match Memory it wants to talk to.
+//
+//wire:struct
+type Hello struct {
+	Node string
+}
+
+// HelloAck accepts a Hello and reports the sink's retention mode, so a
+// remote engine can make the same teardown decisions a local one does.
+//
+//wire:struct
+type HelloAck struct {
+	Retains bool
+}
+
+// Register announces a worker to the coordinator: the node name it hosts,
+// the address its transport server listens on, and its retention mode.
+//
+//wire:struct
+type Register struct {
+	Node    string
+	Addr    string
+	Retains bool
+}
+
+// Put lands one datum in the hosted sink. The replica ordinal of an
+// elastic-routed item rides inside Data (the "#r<ordinal>" qualifier of the
+// sink key), exactly as in the in-process engine.
+//
+//wire:struct
+type Put struct {
+	ReqID     string
+	Fn        string
+	Data      string
+	Consumers uint32
+	Size      int64
+	Payload   []byte
+}
+
+// PutBatch is the DLU batch header plus its puts: one frame per shipment
+// edge, landed with a single sink multi-put on the remote side.
+//
+//wire:struct
+type PutBatch struct {
+	Puts []Put
+}
+
+// Get fetches (Consume true — proactive-release accounting applies) or
+// peeks (Consume false — broadcast data) one datum.
+//
+//wire:struct
+type Get struct {
+	ReqID   string
+	Fn      string
+	Data    string
+	Consume bool
+}
+
+// Found answers a Get.
+//
+//wire:struct
+type Found struct {
+	Found   bool
+	Payload []byte
+}
+
+// Release is the teardown message: drop every entry of the request.
+//
+//wire:struct
+type Release struct {
+	ReqID string
+}
+
+// StatsAck carries the sink's cumulative counters.
+//
+//wire:struct
+type StatsAck struct {
+	Puts              int64
+	MemHits           int64
+	DiskHits          int64
+	Misses            int64
+	ProactiveReleases int64
+	Expirations       int64
+	Retained          int64
+	PeakMemBytes      int64
+}
+
+// Pong answers a liveness Ping, piggybacking the sink's resident bytes so
+// every heartbeat refreshes the remote memory gauge.
+//
+//wire:struct
+type Pong struct {
+	MemBytes int64
+}
+
+// ErrMsg is a remote failure report.
+//
+//wire:struct
+type ErrMsg struct {
+	Code uint8
+	Msg  string
+}
+
+// Remote error codes.
+const (
+	codeGeneric       = 0
+	codeFrameTooLarge = 1
+	codeUnknownNode   = 2
+)
+
+// ---- encoders ----
+
+func appendHello(b []byte, m Hello) []byte { return appendString(b, m.Node) }
+
+func appendHelloAck(b []byte, m HelloAck) []byte { return appendBool(b, m.Retains) }
+
+// AppendRegister encodes a worker registration (exported for cmd/node's
+// coordinator handshake, which speaks raw frames).
+func AppendRegister(b []byte, m Register) []byte {
+	b = appendString(b, m.Node)
+	b = appendString(b, m.Addr)
+	return appendBool(b, m.Retains)
+}
+
+func appendPut(b []byte, m Put) []byte {
+	b = appendString(b, m.ReqID)
+	b = appendString(b, m.Fn)
+	b = appendString(b, m.Data)
+	b = appendUvarint(b, uint64(m.Consumers))
+	b = appendVarint(b, m.Size)
+	return appendBytes(b, m.Payload)
+}
+
+// appendPutReq encodes one wmm.PutReq directly (the ship path never builds
+// intermediate Put structs).
+func appendPutReq(b []byte, req wmm.PutReq) []byte {
+	payload, _ := req.Val.Payload.([]byte)
+	b = appendString(b, req.Key.ReqID)
+	b = appendString(b, req.Key.Fn)
+	b = appendString(b, req.Key.Data)
+	b = appendUvarint(b, uint64(req.Consumers))
+	b = appendVarint(b, req.Val.Size)
+	return appendBytes(b, payload)
+}
+
+func appendPutBatch(b []byte, reqs []wmm.PutReq) []byte {
+	b = appendUvarint(b, uint64(len(reqs)))
+	for i := range reqs {
+		b = appendPutReq(b, reqs[i])
+	}
+	return b
+}
+
+func appendGet(b []byte, m Get) []byte {
+	b = appendString(b, m.ReqID)
+	b = appendString(b, m.Fn)
+	b = appendString(b, m.Data)
+	return appendBool(b, m.Consume)
+}
+
+func appendFound(b []byte, m Found) []byte {
+	b = appendBool(b, m.Found)
+	return appendBytes(b, m.Payload)
+}
+
+func appendRelease(b []byte, m Release) []byte { return appendString(b, m.ReqID) }
+
+func appendStatsAck(b []byte, m StatsAck) []byte {
+	b = appendVarint(b, m.Puts)
+	b = appendVarint(b, m.MemHits)
+	b = appendVarint(b, m.DiskHits)
+	b = appendVarint(b, m.Misses)
+	b = appendVarint(b, m.ProactiveReleases)
+	b = appendVarint(b, m.Expirations)
+	b = appendVarint(b, m.Retained)
+	return appendVarint(b, m.PeakMemBytes)
+}
+
+func appendPong(b []byte, m Pong) []byte { return appendVarint(b, m.MemBytes) }
+
+func appendErrMsg(b []byte, m ErrMsg) []byte {
+	b = append(b, m.Code)
+	return appendString(b, m.Msg)
+}
+
+// ---- decoders ----
+
+func decodeHello(body []byte) (Hello, error) {
+	r := wireReader{b: body}
+	m := Hello{Node: r.str()}
+	return m, r.done()
+}
+
+func decodeHelloAck(body []byte) (HelloAck, error) {
+	r := wireReader{b: body}
+	m := HelloAck{Retains: r.boolean()}
+	return m, r.done()
+}
+
+// DecodeRegister decodes a worker registration (exported for cmd/node).
+func DecodeRegister(body []byte) (Register, error) {
+	r := wireReader{b: body}
+	m := Register{Node: r.str(), Addr: r.str(), Retains: r.boolean()}
+	return m, r.done()
+}
+
+func decodePut(r *wireReader) Put {
+	return Put{
+		ReqID:     r.str(),
+		Fn:        r.str(),
+		Data:      r.str(),
+		Consumers: uint32(r.uvarint()),
+		Size:      r.varint(),
+		Payload:   r.bytes(),
+	}
+}
+
+// decodePutBatch decodes straight into sink put requests, appending to dst.
+func decodePutBatch(body []byte, dst []wmm.PutReq) ([]wmm.PutReq, error) {
+	r := wireReader{b: body}
+	n := r.uvarint()
+	// A frame cannot hold more puts than bytes; reject a hostile count
+	// before looping.
+	if n > uint64(len(body)) {
+		return dst, fmt.Errorf("%w: put count %d exceeds body", ErrBadFrame, n)
+	}
+	for i := uint64(0); i < n && !r.bad; i++ {
+		p := decodePut(&r)
+		dst = append(dst, wmm.PutReq{
+			Key:       wmm.Key{ReqID: p.ReqID, Fn: p.Fn, Data: p.Data},
+			Val:       dataflow.Value{Payload: p.Payload, Size: p.Size},
+			Consumers: int(p.Consumers),
+		})
+	}
+	return dst, r.done()
+}
+
+func decodeGet(body []byte) (Get, error) {
+	r := wireReader{b: body}
+	m := Get{ReqID: r.str(), Fn: r.str(), Data: r.str(), Consume: r.boolean()}
+	return m, r.done()
+}
+
+func decodeFound(body []byte) (Found, error) {
+	r := wireReader{b: body}
+	m := Found{Found: r.boolean(), Payload: r.bytes()}
+	return m, r.done()
+}
+
+func decodeRelease(body []byte) (Release, error) {
+	r := wireReader{b: body}
+	m := Release{ReqID: r.str()}
+	return m, r.done()
+}
+
+func decodeStatsAck(body []byte) (StatsAck, error) {
+	r := wireReader{b: body}
+	m := StatsAck{
+		Puts:              r.varint(),
+		MemHits:           r.varint(),
+		DiskHits:          r.varint(),
+		Misses:            r.varint(),
+		ProactiveReleases: r.varint(),
+		Expirations:       r.varint(),
+		Retained:          r.varint(),
+		PeakMemBytes:      r.varint(),
+	}
+	return m, r.done()
+}
+
+func decodePong(body []byte) (Pong, error) {
+	r := wireReader{b: body}
+	m := Pong{MemBytes: r.varint()}
+	return m, r.done()
+}
+
+func decodeErrMsg(body []byte) (ErrMsg, error) {
+	r := wireReader{b: body}
+	var m ErrMsg
+	if len(r.b) == 0 {
+		r.bad = true
+	} else {
+		m.Code = r.b[0]
+		r.b = r.b[1:]
+	}
+	m.Msg = r.str()
+	return m, r.done()
+}
