@@ -8,9 +8,13 @@
 // prints the reports; the output of a full run is recorded in
 // EXPERIMENTS.md. The experiment list in the help text and error messages
 // is generated from the experiments registry, so it can never drift.
+// -obs appends the process's observability registry snapshot as JSON
+// after the reports — what the runtime's own instruments counted while
+// the experiments ran.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,6 +30,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment id ("+ids+"); empty = all paper figures")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Int64("seed", 0, "simulation seed (0 = default)")
+	withObs := flag.Bool("obs", false, "print the observability registry snapshot (JSON) after the reports")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
@@ -41,6 +47,14 @@ func main() {
 			fmt.Print(rep.String())
 			fmt.Println()
 		}
+	}
+	if *withObs {
+		b, err := json.MarshalIndent(obs.Default().Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(string(b))
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -11,9 +11,12 @@
 //
 // The workload runs on an in-process cluster of -nodes worker nodes with
 // per-container resource shaping, and the command prints the result, the
-// end-to-end latency and the engine's routing table. For the same engine
-// split across OS processes (Wait-Match Memory shards served over the TCP
-// transport), see cmd/node.
+// end-to-end latency and the engine's routing table. With -http the
+// observability endpoints (/metrics, /debug/requests, /debug/health) are
+// mounted before the run and the command stays alive after it, serving
+// them until interrupted; -sample turns on 1-in-N span tracing. For the
+// same engine split across OS processes (Wait-Match Memory shards served
+// over the TCP transport), see cmd/node.
 package main
 
 import (
@@ -21,11 +24,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workflow"
 	"repro/internal/workloads"
 )
@@ -37,6 +42,8 @@ func main() {
 	nodes := flag.Int("nodes", 3, "worker nodes in the in-process cluster")
 	memMB := flag.Int("mem", 1024, "container memory spec (MB)")
 	validate := flag.String("validate", "", "path of a workflow DSL file to parse and validate")
+	httpAddr := flag.String("http", "", "obs endpoint address (/metrics, /debug/requests); empty disables")
+	sample := flag.Int("sample", 0, "sample 1 request in N for span tracing (0 = off)")
 	flag.Parse()
 
 	switch {
@@ -46,7 +53,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *workloadName != "":
-		if err := runWorkload(*workloadName, *text, *fanout, *nodes, *memMB); err != nil {
+		if err := runWorkload(*workloadName, *text, *fanout, *nodes, *memMB, *httpAddr, *sample); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -73,14 +80,16 @@ func validateDSL(path string) error {
 	return nil
 }
 
-func buildSystem(prof *workloads.Profile, nodes, memMB int) (*core.System, error) {
+func buildSystem(prof *workloads.Profile, nodes, memMB, sample int) (*core.System, error) {
 	cl := cluster.NewCluster(nil)
 	for i := 0; i < nodes; i++ {
-		if err := cl.AddNode(cluster.NewNode(fmt.Sprintf("w%d", i+1), cluster.Options{
+		node := cluster.NewNode(fmt.Sprintf("w%d", i+1), cluster.Options{
 			ColdStart: 5 * time.Millisecond,
 			KeepAlive: 15 * time.Minute,
 			SinkTTL:   time.Minute,
-		})); err != nil {
+		})
+		node.RegisterSinkGauges()
+		if err := cl.AddNode(node); err != nil {
 			return nil, err
 		}
 	}
@@ -88,10 +97,11 @@ func buildSystem(prof *workloads.Profile, nodes, memMB int) (*core.System, error
 		Workflow:    prof.Workflow,
 		Cluster:     cl,
 		DefaultSpec: cluster.Spec{MemoryMB: memMB},
+		Obs:         core.ObsConfig{SampleEvery: sample},
 	})
 }
 
-func runWorkload(name, text string, fanout, nodes, memMB int) error {
+func runWorkload(name, text string, fanout, nodes, memMB int, httpAddr string, sample int) error {
 	var prof *workloads.Profile
 	var input map[string][]byte
 	var render func(out []byte) string
@@ -133,11 +143,23 @@ func runWorkload(name, text string, fanout, nodes, memMB int) error {
 		return fmt.Errorf("unknown workload %q (want wc, svd, img, vid)", name)
 	}
 
-	sys, err := buildSystem(prof, nodes, memMB)
+	sys, err := buildSystem(prof, nodes, memMB, sample)
 	if err != nil {
 		return err
 	}
 	defer sys.Shutdown()
+	if httpAddr != "" {
+		obs.Default().Ring().SetOrigin("dataflower")
+		h := obs.Handler(obs.Default(), obs.HandlerOpts{Health: func() any {
+			return map[string]any{"pending": sys.PendingInvocations(), "workload": name}
+		}})
+		bound, closeObs, err := obs.Serve(httpAddr, h)
+		if err != nil {
+			return err
+		}
+		defer closeObs() //nolint:errcheck
+		fmt.Printf("obs listening on %s\n", bound)
+	}
 	switch name {
 	case "wc":
 		err = workloads.RegisterWordCount(sys, fanout)
@@ -169,5 +191,11 @@ func runWorkload(name, text string, fanout, nodes, memMB int) error {
 	}
 	fmt.Printf("\nresult:\n%s\n", render(out))
 	fmt.Printf("latency: %v\n", inv.Latency().Round(time.Microsecond))
+	if httpAddr != "" {
+		fmt.Println("serving obs endpoints; interrupt to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 	return nil
 }

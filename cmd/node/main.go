@@ -14,6 +14,13 @@
 // on ADDR"), waits for -workers registrations, runs a wordcount storm and
 // prints a one-line JSON summary. It exits 0 iff at least 95% of the
 // requests completed — the bar the two-process kill test holds it to.
+//
+// Both modes serve the observability plane when -http is set ("" disables,
+// ":0" picks a free port): /metrics (Prometheus text), /debug/requests
+// (sampled spans) and /debug/health. The bound address is printed as "obs
+// listening on ADDR". The coordinator samples 1 request in -sample for
+// span recording; the trace context crosses the wire, so a sampled
+// request's spans appear in both processes under the same trace id.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wmm"
 	"repro/internal/workloads"
@@ -45,14 +53,16 @@ func main() {
 	fanout := flag.Int("fanout", 3, "coord: wordcount fan-out")
 	pace := flag.Duration("pace", 2*time.Millisecond, "coord: delay between request launches")
 	reqTimeout := flag.Duration("timeout", 15*time.Second, "coord: per-request completion bound")
+	httpAddr := flag.String("http", "", "obs endpoint address (/metrics, /debug/requests); empty disables")
+	sample := flag.Int("sample", 0, "coord: sample 1 request in N for span tracing (0 = off)")
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "worker":
-		err = runWorker(*name, *listen, *coord, *retain)
+		err = runWorker(*name, *listen, *coord, *retain, *httpAddr)
 	case "coord":
-		err = runCoord(*listen, *workers, *requests, *fanout, *pace, *reqTimeout)
+		err = runCoord(*listen, *workers, *requests, *fanout, *pace, *reqTimeout, *httpAddr, *sample)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -65,7 +75,7 @@ func main() {
 
 // runWorker hosts one node's sink over TCP and registers it with the
 // coordinator, then serves until killed.
-func runWorker(name, listen, coord string, retain bool) error {
+func runWorker(name, listen, coord string, retain bool, httpAddr string) error {
 	srv := transport.NewServer(transport.ServerOptions{})
 	srv.Host(name, wmm.NewSink(wmm.Options{RetainInFlight: retain}))
 	addr, err := srv.Listen(listen)
@@ -73,6 +83,14 @@ func runWorker(name, listen, coord string, retain bool) error {
 		return err
 	}
 	defer srv.Close()
+	if httpAddr != "" {
+		obs.Default().Ring().SetOrigin("worker/" + name)
+		closeObs, err := serveObs(httpAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer closeObs()
+	}
 	fmt.Printf("worker %s serving on %s\n", name, addr)
 	if coord != "" {
 		if err := register(coord, transport.Register{Node: name, Addr: addr, Retains: retain}); err != nil {
@@ -80,6 +98,18 @@ func runWorker(name, listen, coord string, retain bool) error {
 		}
 	}
 	select {} // serve until the process is killed
+}
+
+// serveObs mounts the observability endpoints (/metrics, /debug/requests,
+// /debug/health) on addr and prints the bound address.
+func serveObs(addr string, health func() any) (func() error, error) {
+	h := obs.Handler(obs.Default(), obs.HandlerOpts{Health: health})
+	bound, closer, err := obs.Serve(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("obs listening on %s\n", bound)
+	return closer, nil
 }
 
 // register announces the worker to the coordinator, retrying while the
@@ -144,7 +174,7 @@ func acceptRegistration(conn net.Conn) (transport.Register, error) {
 // runCoord collects worker registrations, assembles a remote-node cluster
 // over TCP clients, and drives a paced wordcount storm through it with the
 // fault-tolerance plane and the liveness prober armed.
-func runCoord(listen string, workers, requests, fanout int, pace, reqTimeout time.Duration) error {
+func runCoord(listen string, workers, requests, fanout int, pace, reqTimeout time.Duration, httpAddr string, sample int) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -187,6 +217,7 @@ func runCoord(listen string, workers, requests, fanout int, pace, reqTimeout tim
 		Cluster:       cl,
 		DefaultSpec:   cluster.Spec{MemoryMB: 1024},
 		FaultTolerant: true,
+		Obs:           core.ObsConfig{SampleEvery: sample},
 	})
 	if err != nil {
 		return err
@@ -194,6 +225,16 @@ func runCoord(listen string, workers, requests, fanout int, pace, reqTimeout tim
 	defer sys.Shutdown()
 	if err := workloads.RegisterWordCount(sys, fanout); err != nil {
 		return err
+	}
+	if httpAddr != "" {
+		obs.Default().Ring().SetOrigin("coord")
+		closeObs, err := serveObs(httpAddr, func() any {
+			return map[string]any{"pending": sys.PendingInvocations(), "replays": sys.Replays()}
+		})
+		if err != nil {
+			return err
+		}
+		defer closeObs()
 	}
 
 	stopProber := cl.StartProber(cluster.ProberOptions{

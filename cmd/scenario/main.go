@@ -10,7 +10,9 @@
 // and assertions over the run's result (see README.md "Scenario files").
 // The runner executes them in order on virtual time — runs are
 // deterministic, so the same files and seeds always produce byte-identical
-// reports — and exits non-zero if any assertion fails, printing each
+// reports (-obs appends the process's observability registry snapshot,
+// which waives that guarantee) — and exits non-zero if any assertion
+// fails, printing each
 // failure's observed-vs-bound line. -list prints the registered event and
 // assertion kinds straight from the scenario package's registries, so the
 // help text can never drift from the code.
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -29,6 +32,7 @@ func main() {
 	out := flag.String("out", "", "write the suite report JSON to this file (default stdout)")
 	seed := flag.Int64("seed", 0, "override every scenario's seed (0 = keep the files' seeds)")
 	verbose := flag.Bool("v", false, "print every assertion line, not just failures")
+	withObs := flag.Bool("obs", false, "append the observability registry snapshot to the suite report (may be nondeterministic)")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +65,11 @@ func main() {
 		}
 		suite.Scenarios = append(suite.Scenarios, rep)
 		printReport(rep, *verbose)
+	}
+
+	if *withObs {
+		snap := obs.Default().Snapshot()
+		suite.Obs = &snap
 	}
 
 	data, err := suite.MarshalIndent()

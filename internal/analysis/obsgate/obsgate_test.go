@@ -1,0 +1,14 @@
+package obsgate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsgate"
+)
+
+func TestObsgate(t *testing.T) {
+	analysistest.Run(t, obsgate.Analyzer,
+		filepath.Join("testdata", "flagged"), "repro/internal/hotfake", "repro/internal/obs")
+}

@@ -1,0 +1,9 @@
+package a
+
+import "repro/internal/obs"
+
+// No //repolint:hotpath pragma: setup code resolves instruments from the
+// registry freely.
+func setup() *obs.Counter {
+	return obs.Default().Counter("puts_total")
+}

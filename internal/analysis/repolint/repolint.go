@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/lockheld"
+	"repro/internal/analysis/obsgate"
 	"repro/internal/analysis/planegate"
 	"repro/internal/analysis/tracegate"
 	"repro/internal/analysis/wallclock"
@@ -18,6 +19,7 @@ import (
 var Analyzers = []*analysis.Analyzer{
 	atomicmix.Analyzer,
 	lockheld.Analyzer,
+	obsgate.Analyzer,
 	planegate.Analyzer,
 	tracegate.Analyzer,
 	wallclock.Analyzer,

@@ -369,6 +369,7 @@ func (n *Node) StartContainer(fn string, spec Spec) *Container {
 	c.dluClosed = n.dluShut
 	n.containers[fn] = append(n.containers[fn], c)
 	n.coldStarts++
+	obsColdStarts.Inc(0)
 	n.adjustMemLocked(spec.MemoryBytes())
 	n.mu.Unlock()
 	return c

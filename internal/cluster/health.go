@@ -40,8 +40,13 @@ func (h NodeHealth) String() string {
 // Health returns the node's current health state.
 func (n *Node) Health() NodeHealth { return NodeHealth(n.health.Load()) }
 
-// setHealth records a health transition.
-func (n *Node) setHealth(h NodeHealth) { n.health.Store(int32(h)) }
+// setHealth records a health transition (counted only when the state
+// actually changes — FailNode/RecoverNode re-entries are no-ops).
+func (n *Node) setHealth(h NodeHealth) {
+	if old := n.health.Swap(int32(h)); NodeHealth(old) != h {
+		observeHealth(h)
+	}
+}
 
 // Routable reports whether new request pins may select this node (Up only:
 // a draining node finishes what it has; a down node has nothing).

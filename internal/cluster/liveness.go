@@ -89,6 +89,10 @@ func (c *Cluster) probeLoop(opts ProberOptions, done, exited chan struct{}) {
 			ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
 			err := n.Ping(ctx)
 			cancel()
+			obsProbes.Inc(0)
+			if err != nil {
+				obsProbeFailures.Inc(0)
+			}
 			if err == nil {
 				misses[n.Name] = 0
 				if n.Health() != Up {

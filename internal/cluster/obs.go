@@ -1,0 +1,42 @@
+package cluster
+
+import "repro/internal/obs"
+
+// Process-wide cluster instruments, resolved once at init. Health
+// transitions and probes are control-plane events (orders of magnitude
+// rarer than invokes), so they all share stripe 0; cold starts ride the
+// cold-start sleep and are equally cheap to count.
+var (
+	obsHealthUp       = obs.Default().Counter(`cluster_health_transitions_total{to="up"}`)
+	obsHealthDraining = obs.Default().Counter(`cluster_health_transitions_total{to="draining"}`)
+	obsHealthDown     = obs.Default().Counter(`cluster_health_transitions_total{to="down"}`)
+
+	obsProbes        = obs.Default().Counter("cluster_probes_total")
+	obsProbeFailures = obs.Default().Counter("cluster_probe_failures_total")
+	obsColdStarts    = obs.Default().Counter("cluster_cold_starts_total")
+)
+
+// observeHealth counts one health transition under its destination state.
+func observeHealth(to NodeHealth) {
+	switch to {
+	case Up:
+		obsHealthUp.Inc(0)
+	case Draining:
+		obsHealthDraining.Inc(0)
+	default:
+		obsHealthDown.Inc(0)
+	}
+}
+
+// RegisterSinkGauges exposes the node's sink occupancy as per-node gauges
+// (wmm_mem_bytes / wmm_disk_bytes) on the default registry. Worker
+// processes call this for their hosted node; re-registering the same node
+// name replaces the previous gauge.
+func (n *Node) RegisterSinkGauges() {
+	if n.Sink == nil {
+		return
+	}
+	sink := n.Sink
+	obs.Default().SetGaugeFunc(`wmm_mem_bytes{node="`+n.Name+`"}`, sink.MemBytes)
+	obs.Default().SetGaugeFunc(`wmm_disk_bytes{node="`+n.Name+`"}`, sink.DiskBytes)
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -58,6 +60,14 @@ func newBenchSystemQoS(b testing.TB, qcfg *qos.Config, cfgMut ...func(*Config)) 
 		Cluster:     cl,
 		DefaultSpec: cluster.Spec{MemoryMB: 10 * 1024},
 		QoS:         qcfg,
+	}
+	// BENCH_OBS_SAMPLE=N turns on 1-in-N sampled request tracing for the
+	// metrics-on leg of the bench-gate matrix (0/unset = sampling off; the
+	// metric instruments are always on either way).
+	if v := os.Getenv("BENCH_OBS_SAMPLE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cfg.Obs.SampleEvery = n
+		}
 	}
 	for _, mut := range cfgMut {
 		mut(&cfg)
@@ -180,9 +190,27 @@ func TestInvokeAllocsCeiling(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation changes allocation counts")
 	}
-	const ceiling = 15
 	sys := newBenchSystem(t)
 	defer sys.Shutdown()
+	measureInvokeAllocs(t, sys)
+}
+
+// TestInvokeAllocsCeilingWithSampling pins the obs plane's alloc claim: the
+// metric instruments plus 1-in-1024 sampled tracing fit the same budget —
+// unsampled requests allocate nothing for observability, and the sampled
+// minority's span records amortize to ~0 per request.
+func TestInvokeAllocsCeilingWithSampling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	sys := newBenchSystemQoS(t, nil, func(cfg *Config) { cfg.Obs.SampleEvery = 1024 })
+	defer sys.Shutdown()
+	measureInvokeAllocs(t, sys)
+}
+
+func measureInvokeAllocs(t *testing.T, sys *System) {
+	t.Helper()
+	const ceiling = 15
 	in := map[string][]byte{"a.in": benchPayload}
 	// Warm containers and pools so the measurement sees steady state.
 	for i := 0; i < 50; i++ {

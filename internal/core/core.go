@@ -43,6 +43,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/qos"
 	"repro/internal/trace"
@@ -92,14 +93,19 @@ type Config struct {
 	// multi-put and one accounting pass per group — with a flush-on-idle
 	// rule (only queued tasks are drained, never awaited) so a lone request
 	// ships immediately. Off — the default — the daemon is byte-for-byte
-	// the per-item one. Tracing (Config.Trace) keeps the per-item path even
-	// when set, so event streams never change shape.
+	// the per-item one. Only the legacy full event log (Config.Trace) keeps
+	// the per-item path when set, so its event streams never change shape;
+	// the obs metrics and sampled spans (Config.Obs) coexist with batching
+	// — a sampled request's trace context rides the batch headers.
 	BatchDLU bool
 	// DLUBatchTasks caps how many queued tasks one batch drains
 	// (DefaultDLUBatchTasks when 0).
 	DLUBatchTasks int
 	// Trace receives execution events when non-nil.
 	Trace *trace.Log
+	// Obs configures sampled request tracing (obs.go). The zero value
+	// disables sampling; the metric instruments are always on regardless.
+	Obs ObsConfig
 	// ReapInterval runs the keep-alive reaper periodically on every node
 	// (recycling idle containers whose keep-alive expired, §6.2). Zero
 	// disables the background reaper; callers may still invoke
@@ -203,6 +209,12 @@ type System struct {
 	// (lost to node deaths, re-landed on the repaired replica).
 	ft      bool
 	replays atomic.Int64
+
+	// Sampled request tracing (Config.Obs): every sampleEvery-th request
+	// records stage spans into ring. sampleEvery 0 means sampling is off
+	// and no request carries a span.
+	ring        *obs.SpanRing
+	sampleEvery int64
 
 	// qos is the assembled admission & QoS plane, nil when Config.QoS is —
 	// every QoS gate in the engine is behind a nil check on it. trackPut
@@ -416,6 +428,15 @@ func NewSystem(cfg Config) (*System, error) {
 		s.elastic = s.elastic.withDefaults(len(s.allNodes))
 	}
 	s.ft = cfg.FaultTolerant
+	if cfg.Obs.SampleEvery > 0 {
+		size := cfg.Obs.RingSize
+		if size <= 0 {
+			size = obs.DefaultSpanRingSize
+		}
+		s.ring = obs.NewSpanRing(size)
+		s.sampleEvery = int64(cfg.Obs.SampleEvery)
+		publishRing(s.ring)
+	}
 	// Fault tolerance needs per-request pins (a repair rewrites them), so it
 	// rules out the static fast path even with the scaler off.
 	s.static = s.elastic.Interval <= 0 && !s.ft
@@ -710,6 +731,11 @@ type Invocation struct {
 	// counters (see stripes.go); inherited from the idBlock the request
 	// number came from, so requests minted on the same P share a lane.
 	stripe uint32
+
+	// span is the request's sampled trace record (nil for the unsampled
+	// majority — every recording site is behind one nil check). Immutable
+	// after InvokeWith; SpanRec is internally synchronized.
+	span *obs.SpanRec
 }
 
 // Tenant returns the request's QoS tenant attribution ("" when the
@@ -777,6 +803,18 @@ func (inv *Invocation) finishLocked() {
 	inv.end = inv.sys.clk.Now()
 	close(inv.done)
 	inv.sys.traceEvent(trace.ReqCompleted, inv.ReqID, "", 0, "")
+	inv.sys.spanEvent(inv, trace.ReqCompleted, "", 0)
+	obsReqLat.Observe(inv.stripe, int64(inv.end.Sub(inv.start)))
+	if inv.err != nil {
+		obsFailed.Inc(inv.stripe)
+	} else {
+		obsCompleted.Inc(inv.stripe)
+	}
+	// The rest of this function is the teardown sweep; charge its latency
+	// on every exit path.
+	defer func() {
+		obsTeardownLat.Observe(inv.stripe, int64(inv.sys.clk.Since(inv.end)))
+	}()
 	// End-of-request GC: drop the invocation from the system table and
 	// release its leftover sink entries. Proactive release normally empties
 	// the memory tier earlier; this teardown is what reclaims broadcast
@@ -878,6 +916,7 @@ func (s *System) InvokeWith(input map[string][]byte, opts InvokeOpts) (*Invocati
 			}
 		}
 	}
+	admitStart := s.clk.Now()
 	// The read lock spans request registration and the first instance
 	// spawns, so Shutdown (write side) can only observe a fully admitted
 	// request or reject the next one — never a half-scheduled request whose
@@ -886,6 +925,7 @@ func (s *System) InvokeWith(input map[string][]byte, opts InvokeOpts) (*Invocati
 	defer s.closeMu.RUnlock()
 	if s.closed {
 		s.rejShutdown.Add(1)
+		obsRejShutdown.Inc(0)
 		return nil, errors.New("core: system is shut down")
 	}
 	var tenant string
@@ -926,9 +966,15 @@ func (s *System) InvokeWith(input map[string][]byte, opts InvokeOpts) (*Invocati
 	inv.route = inv.routeBuf[:0]
 	inv.readyScratch = inv.readyBuf[:0]
 	inv.tracker.Init(s.wf, reqID)
+	obsRequests.Inc(stripe)
+	obsAdmissionLat.Observe(stripe, int64(inv.start.Sub(admitStart)))
+	if s.sampleEvery > 0 && reqNum%s.sampleEvery == 0 {
+		inv.span = s.ring.Start(s.ring.NewTraceID(), reqID)
+	}
 	s.invs.put(reqID, inv)
 
 	s.traceEvent(trace.ReqArrived, reqID, "", 0, "")
+	s.spanEvent(inv, trace.ReqArrived, "", 0)
 	inv.mu.Lock()
 	newly, err := inv.tracker.StartBytes(input)
 	inv.mu.Unlock()
@@ -936,6 +982,7 @@ func (s *System) InvokeWith(input map[string][]byte, opts InvokeOpts) (*Invocati
 		// Run the normal teardown so the rejected invocation does not stay
 		// in the table (and its done channel closes for any observer).
 		s.rejInvalid.Add(1)
+		obsRejInvalid.Inc(0)
 		inv.fail(err)
 		return nil, err
 	}
@@ -950,6 +997,7 @@ func (s *System) InvokeWith(input map[string][]byte, opts InvokeOpts) (*Invocati
 func (s *System) scheduleReady(inv *Invocation, keys []dataflow.InstanceKey) {
 	for _, key := range keys {
 		s.traceEvent(trace.InstanceTriggered, inv.ReqID, key.Fn, key.Idx, "")
+		s.spanEvent(inv, trace.InstanceTriggered, key.Fn, key.Idx)
 		s.submitInstance(inv, key)
 	}
 }
@@ -1042,6 +1090,7 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	if !warm {
 		ctr = node.StartContainer(fn, st.spec)
 		s.traceEvent(trace.ContainerCold, inv.ReqID, fn, key.Idx, ctr.ID)
+		s.spanEvent(inv, trace.ContainerCold, fn, key.Idx)
 	}
 	defer node.Release(ctr)
 
@@ -1093,11 +1142,15 @@ func (s *System) runInstance(inv *Invocation, key dataflow.InstanceKey) {
 	}
 	for {
 		s.traceEvent(trace.InstanceStarted, inv.ReqID, fn, key.Idx, "")
+		s.spanEvent(inv, trace.InstanceStarted, fn, key.Idx)
 		ctx.started = s.clk.Now()
 		err := h(ctx)
-		st.observe(inv.stripe, s.clk.Since(ctx.started))
+		d := s.clk.Since(ctx.started)
+		st.observe(inv.stripe, d)
+		obsExecLat.Observe(inv.stripe, int64(d))
 		if err == nil {
 			s.traceEvent(trace.InstanceFinished, inv.ReqID, fn, key.Idx, "")
+			s.spanEvent(inv, trace.InstanceFinished, fn, key.Idx)
 			return
 		}
 		inv.mu.Lock()

@@ -389,6 +389,12 @@ func (s *System) shipBatch(ctr *cluster.Container, b *dluBatch) {
 		*task = cluster.DLUTask{}
 	}
 	b.tasks = b.tasks[:0]
+	items, stripe := 0, uint32(0)
+	for i := range b.groups {
+		items += len(b.groups[i].items)
+		stripe = b.groups[i].inv.stripe
+	}
+	obsBatchItems.Observe(stripe, int64(items))
 	for i := range b.groups {
 		s.shipGroup(ctr, &b.groups[i], b)
 	}
@@ -416,6 +422,7 @@ func (s *System) shipGroup(ctr *cluster.Container, g *dluGroup, b *dluBatch) {
 		s.deliverBatch(g.inv, g.items, nil, nil)
 		return
 	}
+	s.spanEvent(g.inv, trace.DataSent, g.items[0].To.Fn, len(g.items))
 	if g.node == ctr.Node {
 		s.landBatch(g.inv, g.items, g.node, b, transport.Pacing{})
 		return
@@ -443,9 +450,10 @@ func (s *System) shipGroup(ctr *cluster.Container, g *dluGroup, b *dluBatch) {
 		ctr.Node.Clock().Sleep(s.cfg.TransferLatency)
 	}
 	s.landBatch(g.inv, g.items, g.node, b, transport.Pacing{
-		Src:   ctr.Limiter,
-		Items: len(g.items),
-		Bytes: total,
+		Src:     ctr.Limiter,
+		Items:   len(g.items),
+		Bytes:   total,
+		TraceID: g.inv.span.ID(),
 	})
 }
 
@@ -490,6 +498,7 @@ func (s *System) landBatch(inv *Invocation, items []dataflow.Item, node *cluster
 		// outlive it.
 		node.SinkRelease(inv.ReqID) //nolint:errcheck // best effort: an unreachable sink holds nothing to release
 	}
+	s.spanEvent(inv, trace.DataArrived, items[0].To.Fn, len(items))
 	s.deliverBatch(inv, items, b.reqs, node)
 	clear(b.reqs) // drop payload references
 	b.reqs = b.reqs[:0]
@@ -578,6 +587,7 @@ func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item)
 		s.traceEvent(trace.DataSent, inv.ReqID, it.From.Fn, it.From.Idx,
 			fmt.Sprintf("%s->%s %dB", it.Output, it.To, it.Value.Size))
 	}
+	s.spanEvent(inv, trace.DataSent, it.From.Fn, it.From.Idx)
 	if it.To.Fn == workflow.UserSource {
 		s.deliver(inv, it, wmm.Key{}, nil)
 		return
@@ -608,9 +618,10 @@ func (s *System) ship(ctr *cluster.Container, inv *Invocation, it dataflow.Item)
 			srcNode.Clock().Sleep(s.cfg.TransferLatency)
 		}
 		s.land(inv, it, dstNode, transport.Pacing{
-			Src:   ctr.Limiter,
-			Items: 1,
-			Bytes: it.Value.Size,
+			Src:     ctr.Limiter,
+			Items:   1,
+			Bytes:   it.Value.Size,
+			TraceID: inv.span.ID(),
 		})
 		return
 	}
@@ -698,6 +709,7 @@ func (s *System) land(inv *Invocation, it dataflow.Item, dstNode *cluster.Node, 
 		s.traceEvent(trace.DataArrived, inv.ReqID, it.To.Fn, it.To.Idx,
 			fmt.Sprintf("%s %dB", it.Input, it.Value.Size))
 	}
+	s.spanEvent(inv, trace.DataArrived, it.To.Fn, it.To.Idx)
 	s.deliver(inv, it, key, dstNode)
 }
 
@@ -770,6 +782,7 @@ func (s *System) deliver(inv *Invocation, it dataflow.Item, key wmm.Key, node *c
 	}
 	for _, k := range newly {
 		s.traceEvent(trace.InstanceTriggered, inv.ReqID, k.Fn, k.Idx, "")
+		s.spanEvent(inv, trace.InstanceTriggered, k.Fn, k.Idx)
 		s.submitInstance(inv, k)
 	}
 	if inv.tracker.Complete() {

@@ -73,7 +73,9 @@ func (s *System) repairLocked(inv *Invocation) {
 		n := s.replayLocked(inv, st.name, dead, next, ordinal)
 		inv.replays += n
 		s.replays.Add(int64(n))
+		obsReplays.Add(inv.stripe, int64(n))
 		s.traceEvent(trace.Replay, inv.ReqID, st.name, n, dead.Name+"->"+next.Name)
+		s.spanEvent(inv, trace.Replay, st.name, n)
 	}
 }
 

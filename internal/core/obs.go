@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// This file is the engine's observability surface: the always-on metric
+// instruments (resolved once at init from the process-wide registry, so
+// hot-path updates are striped atomic adds — see the obsgate analyzer) and
+// the sampled request-tracing plane (ObsConfig).
+//
+// The instruments are process-wide, prometheus-style: several Systems in
+// one process accumulate into the same series. The sampled span ring is
+// per-System but published to the default registry, so /debug/requests in
+// any process that mounts obs.Handler shows the engine's sampled spans.
+
+// ObsConfig configures the engine's sampled request tracing. Unlike
+// Config.Trace (the full event log, which forces the per-item DLU path so
+// event streams keep their shape), sampling coexists with BatchDLU: a
+// sampled request records coarse stage spans and its trace context rides
+// the batched shipment headers.
+type ObsConfig struct {
+	// SampleEvery records spans for one request in every SampleEvery
+	// (request numbers divisible by it). 0 disables sampling; 1 samples
+	// every request. Unsampled requests allocate nothing for tracing.
+	SampleEvery int
+	// RingSize bounds the span ring (obs.DefaultSpanRingSize when 0); the
+	// oldest sampled request is evicted when a new one starts past the
+	// bound.
+	RingSize int
+}
+
+// Engine instruments. Counters and histograms are striped; callers tag
+// updates with the request's stripe so concurrent cores stay on their own
+// cache lines.
+var (
+	obsRequests  = obs.Default().Counter("core_requests_total")
+	obsCompleted = obs.Default().Counter("core_completed_total")
+	obsFailed    = obs.Default().Counter("core_failed_total")
+	obsReplays   = obs.Default().Counter("core_replays_total")
+
+	obsRejShutdown  = obs.Default().Counter(`core_rejections_total{reason="shutdown"}`)
+	obsRejInvalid   = obs.Default().Counter(`core_rejections_total{reason="invalid"}`)
+	obsRejAdmission = obs.Default().Counter(`core_rejections_total{reason="admission"}`)
+	obsRejOverload  = obs.Default().Counter(`core_rejections_total{reason="overload"}`)
+
+	// Stage latencies, in nanoseconds: admission (InvokeWith entry to
+	// request registration), exec (one handler run), request (end-to-end),
+	// teardown (the post-completion sink reclaim).
+	obsAdmissionLat = obs.Default().Histogram("core_admission_latency_ns")
+	obsExecLat      = obs.Default().Histogram("core_exec_latency_ns")
+	obsReqLat       = obs.Default().Histogram("core_request_latency_ns")
+	obsTeardownLat  = obs.Default().Histogram("core_teardown_latency_ns")
+
+	// obsBatchItems is the per-shipment DLU batch size (items per drained
+	// batch), the batching-efficacy signal.
+	obsBatchItems = obs.Default().Histogram("core_dlu_batch_items")
+)
+
+// tenantCounterCache lazily resolves per-tenant series ("name{tenant=...}")
+// the same read-mostly way tenantLoads caches its counters: the tenant set
+// is small and stable, so steady state is one read-lock and one pointer
+// load per admission.
+type tenantCounterCache struct {
+	name string
+	mu   sync.RWMutex
+	m    map[string]*obs.Counter
+}
+
+func (c *tenantCounterCache) get(tenant string) *obs.Counter {
+	c.mu.RLock()
+	ctr := c.m[tenant]
+	c.mu.RUnlock()
+	if ctr != nil {
+		return ctr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*obs.Counter)
+	}
+	if ctr = c.m[tenant]; ctr == nil {
+		ctr = obs.Default().Counter(c.name + `{tenant="` + tenant + `"}`)
+		c.m[tenant] = ctr
+	}
+	return ctr
+}
+
+// Per-tenant QoS admission outcomes.
+var (
+	obsQoSAdmits    = &tenantCounterCache{name: "core_qos_admits_total"}
+	obsQoSThrottles = &tenantCounterCache{name: "core_qos_throttles_total"}
+	obsQoSSheds     = &tenantCounterCache{name: "core_qos_sheds_total"}
+)
+
+// publishRing attaches the System's span ring to the default registry so
+// /debug/requests (obs.Handler) serves it. Setup-time only — core.go is a
+// hot-path file and may not touch the registry itself.
+func publishRing(g *obs.SpanRing) {
+	obs.Default().SetRing(g)
+}
+
+// spanEvent records one stage on the request's sampled span. One nil check
+// when the request is unsampled — the common case.
+func (s *System) spanEvent(inv *Invocation, kind trace.Kind, fn string, idx int) {
+	if inv.span != nil {
+		inv.span.Record(kind, s.now(), fn, idx)
+	}
+}

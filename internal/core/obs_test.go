@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestBatchedEquivalenceWithSampling pins the batching/observability
+// contract from the Config docs: unlike the legacy full event log
+// (Config.Trace, which forces the per-item DLU path), sampled request
+// tracing coexists with BatchDLU. The storm must produce identical sink
+// state to the unbatched engine, the batched daemon must actually have run
+// (the DLU batch-size histogram grows), and the span ring must hold
+// sampled requests.
+func TestBatchedEquivalenceWithSampling(t *testing.T) {
+	const n = 200
+	sampled := func(cfg *Config) { cfg.Obs = ObsConfig{SampleEvery: 4} }
+
+	plain := newBatchWCSystem(t, 3, false, sampled)
+	plainStats := runWCStorm(t, plain, n)
+	plain.Shutdown()
+
+	batchesBefore := obs.Default().Histogram("core_dlu_batch_items").Snapshot().Count
+	batched := newBatchWCSystem(t, 3, true, sampled)
+	batchStats := runWCStorm(t, batched, n)
+	if got := obs.Default().Histogram("core_dlu_batch_items").Snapshot().Count; got <= batchesBefore {
+		t.Fatal("batch-size histogram did not grow: sampling must not disable the batched DLU daemon")
+	}
+	if batched.ring == nil || batched.ring.Len() == 0 {
+		t.Fatal("span ring empty: sampling must record spans under BatchDLU")
+	}
+	batched.Shutdown()
+
+	plainStats.PeakMemBytes, batchStats.PeakMemBytes = 0, 0
+	if plainStats != batchStats {
+		t.Fatalf("sink stats diverged:\nplain   %+v\nbatched %+v", plainStats, batchStats)
+	}
+}
+
+// TestSampledSpansRecordStages drives sampled requests through the engine
+// and checks the span ring holds correlated per-request stage sequences:
+// arrival, instance lifecycle, data movement, completion.
+func TestSampledSpansRecordStages(t *testing.T) {
+	sys := newBatchWCSystem(t, 2, true, func(cfg *Config) {
+		cfg.Obs = ObsConfig{SampleEvery: 1, RingSize: 64}
+	})
+	defer sys.Shutdown()
+	for i := 0; i < 8; i++ {
+		inv, err := sys.Invoke(map[string][]byte{"start.src": []byte(fmt.Sprintf("w%d x", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := sys.ring.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.TraceID == "" || sp.TraceID == "0000000000000000" {
+			t.Fatalf("span %s has no trace id", sp.ReqID)
+		}
+		stages := make(map[string]bool, len(sp.Stages))
+		for _, st := range sp.Stages {
+			stages[st.Kind] = true
+		}
+		for _, want := range []string{"req-arrived", "triggered", "started", "finished", "data-sent", "req-completed"} {
+			if !stages[want] {
+				t.Fatalf("span %s missing stage %q (has %v)", sp.ReqID, want, sp.Stages)
+			}
+		}
+	}
+}
+
+// TestUnsampledRequestsCarryNoSpan pins the 1-in-N contract: with
+// SampleEvery=4 only every fourth request number lands in the ring.
+func TestUnsampledRequestsCarryNoSpan(t *testing.T) {
+	if raceEnabled {
+		// Race-mode sync.Pool randomly discards pooled ID blocks, so serial
+		// request numbers are no longer dense and the exact count drifts.
+		t.Skip("race instrumentation changes request numbering")
+	}
+	sys := newBatchWCSystem(t, 1, false, func(cfg *Config) {
+		cfg.Obs = ObsConfig{SampleEvery: 4, RingSize: 64}
+	})
+	defer sys.Shutdown()
+	for i := 0; i < 20; i++ {
+		inv, err := sys.Invoke(map[string][]byte{"start.src": []byte("a b")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.ring.Len(); got != 5 {
+		t.Fatalf("ring holds %d spans after 20 requests at 1-in-4, want 5", got)
+	}
+}

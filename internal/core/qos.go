@@ -92,6 +92,8 @@ func newQoSPlane(cfg qos.Config, executorWidth int) *qosPlane {
 func (s *System) admit(tenant string) error {
 	if ra, shed := s.qos.governor.Shedding(tenant); shed {
 		s.rejOverload.Add(1)
+		obsRejOverload.Inc(0)
+		obsQoSSheds.get(tenant).Inc(0)
 		if s.cfg.Trace != nil {
 			s.traceEvent(trace.Shed, "", "", 0, "tenant "+tenant+": shed")
 		}
@@ -99,11 +101,14 @@ func (s *System) admit(tenant string) error {
 	}
 	if ok, ra := s.qos.limiter.Allow(s.now(), tenant); !ok {
 		s.rejAdmission.Add(1)
+		obsRejAdmission.Inc(0)
+		obsQoSThrottles.get(tenant).Inc(0)
 		if s.cfg.Trace != nil {
 			s.traceEvent(trace.Shed, "", "", 0, "tenant "+tenant+": admission")
 		}
 		return &qos.ErrOverloaded{Tenant: tenant, Cause: qos.CauseAdmission, RetryAfter: ra}
 	}
+	obsQoSAdmits.get(tenant).Inc(0)
 	return nil
 }
 

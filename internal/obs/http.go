@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// HandlerOpts customizes the debug endpoints.
+type HandlerOpts struct {
+	// Health, when non-nil, is marshaled as the /debug/health body in place
+	// of the default {"status":"ok"}. It must be safe to call concurrently.
+	Health func() any
+}
+
+// requestsBody is the /debug/requests JSON shape.
+type requestsBody struct {
+	Origin  string         `json:"origin,omitempty"`
+	Evicted int64          `json:"evicted"`
+	Spans   []SpanSnapshot `json:"spans"`
+}
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics         Prometheus text exposition of a fresh Snapshot
+//	/debug/requests  the sampled-span ring as JSON
+//	/debug/health    liveness JSON (HandlerOpts.Health or {"status":"ok"})
+func Handler(r *Registry, opts HandlerOpts) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, _ *http.Request) {
+		ring := r.ring.Load() // nil until anything samples: report empty, don't create
+		body := requestsBody{Spans: []SpanSnapshot{}}
+		if ring != nil {
+			body.Origin = ring.Origin()
+			body.Evicted = ring.Evicted()
+			body.Spans = ring.Snapshot()
+		}
+		writeJSON(w, body)
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		var body any = map[string]string{"status": "ok"}
+		if opts.Health != nil {
+			body = opts.Health()
+		}
+		writeJSON(w, body)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+// Serve mounts h on a fresh TCP listener at addr (use ":0" for an
+// ephemeral port) and serves it on a background goroutine. It returns the
+// bound address and a closer that stops the listener.
+func Serve(addr string, h http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	go func() { _ = http.Serve(ln, h) }()
+	return ln.Addr().String(), ln.Close, nil
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Series are sorted by name; inline labels in instrument names
+// pass through; histograms emit cumulative _bucket/_sum/_count series with
+// le bounds at the log2 bucket boundaries (only non-empty buckets plus
+// +Inf, which preserves cumulative semantics).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	for _, name := range names(s.Counters) {
+		if err := writeSeries(w, typed, name, "counter", s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range names(s.Gauges) {
+		if err := writeSeries(w, typed, name, "gauge", s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range names(s.Histograms) {
+		if err := writeHist(w, typed, name, s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitLabels splits an instrument name into its base metric name and the
+// inline label block ("" when unlabeled; otherwise the `k="v",...` body).
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func writeType(w io.Writer, typed map[string]bool, base, kind string) error {
+	if typed[base] {
+		return nil
+	}
+	typed[base] = true
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+	return err
+}
+
+func writeSeries(w io.Writer, typed map[string]bool, name, kind string, v int64) error {
+	base, _ := splitLabels(name)
+	if err := writeType(w, typed, base, kind); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+	return err
+}
+
+func writeHist(w io.Writer, typed map[string]bool, name string, h HistSnapshot) error {
+	base, labels := splitLabels(name)
+	if err := writeType(w, typed, base, "histogram"); err != nil {
+		return err
+	}
+	withLabel := func(extra string) string {
+		if labels == "" {
+			return base + "_bucket{" + extra + "}"
+		}
+		return base + "_bucket{" + labels + "," + extra + "}"
+	}
+	var cum int64
+	for i := range h.Counts {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(fmt.Sprintf("le=%q", fmt.Sprint(BucketBound(i)))), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(`le="+Inf"`), h.Count); err != nil {
+		return err
+	}
+	suffix := func(s string) string {
+		if labels == "" {
+			return base + s
+		}
+		return base + s + "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", suffix("_sum"), h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffix("_count"), h.Count)
+	return err
+}

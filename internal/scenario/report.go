@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/simcluster"
 )
 
@@ -65,6 +66,13 @@ type TenantCounters struct {
 type Suite struct {
 	Pass      bool      `json:"pass"`
 	Scenarios []*Report `json:"scenarios"`
+
+	// Obs is the process-wide observability registry snapshot taken after
+	// the last scenario (cmd/scenario -obs). It accumulates across every
+	// scenario in the suite and may contain timing-dependent series, so it
+	// is off by default — CI's byte-identical determinism diff relies on
+	// the default report carrying no nondeterministic fields.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // MarshalIndent renders the suite as stable, indented JSON.

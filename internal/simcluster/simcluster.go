@@ -137,6 +137,11 @@ type Config struct {
 	Seed int64
 	// CollectTrace enables the event log (needed by Fig. 2(c)/13).
 	CollectTrace bool
+	// TraceBound caps the event log at the most recent N events (a ring
+	// with an eviction counter — trace.NewLogBounded), so long stress runs
+	// cannot grow the trace without limit. 0 applies DefaultTraceBound;
+	// negative keeps the log unbounded.
+	TraceBound int
 	// PrewarmOnArrival enables the paper's §10 future-work policy: when a
 	// request arrives, warm one container for every function of its
 	// workflow whose pool is still empty, because the data-flow graph
@@ -144,6 +149,13 @@ type Config struct {
 	// first/bursty requests.
 	PrewarmOnArrival bool
 }
+
+// DefaultTraceBound is the event-log cap applied when Config.CollectTrace
+// is set with TraceBound 0. A million events is far above what any
+// committed experiment or scenario emits — the bound only bites multi-hour
+// stress runs, where the most recent window plus the eviction counter is
+// the useful signal anyway.
+const DefaultTraceBound = 1 << 20
 
 // NodeSpec is one worker's hardware shape in Config.Fleet. Zero fields fall
 // back to the cluster-wide Config.NodeNICBps/DiskBps defaults.
@@ -462,7 +474,11 @@ func New(cfg Config) *Sim {
 		latByWf:   make(map[string]*metrics.Sample),
 	}
 	if cfg.CollectTrace {
-		s.log = trace.NewLog()
+		bound := cfg.TraceBound
+		if bound == 0 {
+			bound = DefaultTraceBound
+		}
+		s.log = trace.NewLogBounded(bound) // unbounded when bound < 0
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		nicBps, diskBps := cfg.NodeNICBps, cfg.DiskBps

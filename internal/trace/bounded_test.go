@@ -1,0 +1,40 @@
+package trace
+
+import "testing"
+
+func TestLogBoundedEviction(t *testing.T) {
+	l := NewLogBounded(3)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{Idx: i})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if l.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", l.Evicted())
+	}
+	ev := l.Events()
+	if len(ev) != 3 || ev[0].Idx != 2 || ev[1].Idx != 3 || ev[2].Idx != 4 {
+		t.Fatalf("events %+v, want idx 2,3,4 in order", ev)
+	}
+}
+
+func TestLogBoundedUnderfill(t *testing.T) {
+	l := NewLogBounded(8)
+	l.Append(Event{Idx: 1})
+	l.Append(Event{Idx: 2})
+	ev := l.Events()
+	if len(ev) != 2 || ev[0].Idx != 1 || ev[1].Idx != 2 || l.Evicted() != 0 {
+		t.Fatalf("events %+v evicted %d", ev, l.Evicted())
+	}
+}
+
+func TestLogBoundedNonPositiveIsUnbounded(t *testing.T) {
+	l := NewLogBounded(0)
+	for i := 0; i < 100; i++ {
+		l.Append(Event{Idx: i})
+	}
+	if l.Len() != 100 || l.Evicted() != 0 {
+		t.Fatalf("len %d evicted %d", l.Len(), l.Evicted())
+	}
+}

@@ -57,29 +57,66 @@ type Event struct {
 	Note  string
 }
 
-// Log is an append-only, concurrency-safe event log.
+// Log is an append-only, concurrency-safe event log. An unbounded log
+// (NewLog) keeps every event; a bounded one (NewLogBounded) keeps the most
+// recent n, evicting the oldest and counting the evictions so truncation
+// is visible to consumers.
 type Log struct {
 	mu     sync.Mutex
 	events []Event
+	// bound > 0 makes events a ring of that capacity; head is the index of
+	// the oldest event once the ring has wrapped.
+	bound   int
+	head    int
+	evicted int64
 }
 
-// NewLog returns an empty log.
+// NewLog returns an empty unbounded log.
 func NewLog() *Log { return &Log{} }
 
-// Append records an event.
+// NewLogBounded returns an empty log that retains at most n events
+// (unbounded when n <= 0). Long scenario/stress runs and the simulation
+// plane default to a bounded log so a multi-hour storm cannot grow the
+// trace without limit; Evicted reports how much history was dropped.
+// Storage grows on demand up to n — a short run never pays for the bound.
+func NewLogBounded(n int) *Log {
+	if n <= 0 {
+		return NewLog()
+	}
+	return &Log{bound: n}
+}
+
+// Append records an event, evicting the oldest when a bounded log is full.
 func (l *Log) Append(e Event) {
 	l.mu.Lock()
-	l.events = append(l.events, e)
+	if l.bound > 0 && len(l.events) == l.bound {
+		l.events[l.head] = e
+		l.head++
+		if l.head == l.bound {
+			l.head = 0
+		}
+		l.evicted++
+	} else {
+		l.events = append(l.events, e)
+	}
 	l.mu.Unlock()
 }
 
-// Events returns a copy of all events in append order.
+// Events returns a copy of the retained events in append order.
 func (l *Log) Events() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.head:]...)
+	out = append(out, l.events[:l.head]...)
 	return out
+}
+
+// Evicted returns how many events a bounded log has dropped.
+func (l *Log) Evicted() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
 }
 
 // ForRequest returns the events of one request sorted by time.

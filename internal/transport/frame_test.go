@@ -211,10 +211,13 @@ func TestPutBatchRoundTrip(t *testing.T) {
 			Consumers: 2,
 		},
 	}
-	body := appendPutBatch(nil, reqs)
-	got, err := decodePutBatch(body, nil)
+	body := appendPutBatch(nil, 0xfeedface, reqs)
+	got, traceID, err := decodePutBatch(body, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if traceID != 0xfeedface {
+		t.Fatalf("trace id %#x, want 0xfeedface", traceID)
 	}
 	if len(got) != len(reqs) {
 		t.Fatalf("decoded %d reqs, want %d", len(got), len(reqs))
@@ -238,9 +241,38 @@ func TestPutBatchRoundTrip(t *testing.T) {
 }
 
 func TestDecodePutBatchHostileCount(t *testing.T) {
-	body := appendUvarint(nil, 1<<40) // claims a trillion puts, carries none
-	if _, err := decodePutBatch(body, nil); !errors.Is(err, ErrBadFrame) {
+	body := appendUvarint(nil, 0)     // trace id: unsampled
+	body = appendUvarint(body, 1<<40) // claims a trillion puts, carries none
+	if _, _, err := decodePutBatch(body, nil); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestPutTraceContextRoundTrip pins the frame-v2 trace field: a sampled
+// put carries its id through encode/decode, an unsampled one reads back 0.
+func TestPutTraceContextRoundTrip(t *testing.T) {
+	p := Put{TraceID: 0x1234abcd5678ef90, ReqID: "req-3", Fn: "count", Data: "words", Consumers: 2, Size: 5, Payload: []byte("hello")}
+	r := wireReader{b: appendPut(nil, p)}
+	got := decodePut(&r)
+	if err := r.done(); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != p.TraceID || got.ReqID != p.ReqID || got.Fn != p.Fn || !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("round trip %+v, want %+v", got, p)
+	}
+
+	// The Land path encodes the message-level trace id then the datum.
+	req := wmm.PutReq{Key: wmm.Key{ReqID: "req-3", Fn: "count", Data: "words"},
+		Val: dataflow.Value{Payload: []byte("hello"), Size: 5}, Consumers: 2}
+	landBody := appendUvarint(nil, 0) // unsampled
+	landBody = appendPutReq(landBody, req)
+	r = wireReader{b: landBody}
+	got = decodePut(&r)
+	if err := r.done(); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 || got.Data != "words" {
+		t.Fatalf("unsampled land decoded %+v", got)
 	}
 }
 
@@ -256,10 +288,16 @@ func TestDecoderTrailingGarbage(t *testing.T) {
 // arbitrary bytes: nothing may panic, and every accepted frame must carry a
 // consistent (type, body) pair.
 func FuzzReadFrame(f *testing.F) {
-	f.Add(AppendFrame(nil, MsgPut, appendPutReq(nil, wmm.PutReq{
+	f.Add(AppendFrame(nil, MsgPut, appendPut(nil, Put{
+		ReqID: "r", Fn: "f", Data: "d", Payload: []byte("p"), Size: 1,
+	})))
+	f.Add(AppendFrame(nil, MsgPut, appendPut(nil, Put{
+		TraceID: 0xdeadbeefcafe, ReqID: "r", Fn: "f", Data: "d", Payload: []byte("p"), Size: 1,
+	})))
+	f.Add(AppendFrame(nil, MsgPutBatch, appendPutBatch(nil, 0x77, []wmm.PutReq{{
 		Key: wmm.Key{ReqID: "r", Fn: "f", Data: "d"},
 		Val: dataflow.Value{Payload: []byte("p"), Size: 1},
-	})))
+	}})))
 	f.Add(AppendFrame(nil, MsgGet, appendGet(nil, Get{ReqID: "r", Fn: "f", Data: "d"})))
 	f.Add([]byte{0, 0, 0, 2, FrameVersion, byte(MsgClear)})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})

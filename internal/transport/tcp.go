@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dataflow"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wmm"
 )
 
@@ -79,6 +81,10 @@ func (s *Server) Host(name string, sink *wmm.Sink) {
 	s.mu.Lock()
 	s.hosts[name] = &hostedSink{sink: sink, start: s.clk.Now()}
 	s.mu.Unlock()
+	// Pull-time occupancy gauges for the hosted sink: reads are atomics,
+	// so scraping /metrics never touches the shard locks.
+	obs.Default().SetGaugeFunc(`wmm_mem_bytes{node="`+name+`"}`, sink.MemBytes)
+	obs.Default().SetGaugeFunc(`wmm_disk_bytes{node="`+name+`"}`, sink.DiskBytes)
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting connections
@@ -187,11 +193,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	sink := host.sink
+	stripe := obsStripeSeq.Add(1)
 	for {
 		t, body, err := ReadFrame(conn, &rbuf, s.opts.MaxFrame)
 		if err != nil {
 			return
 		}
+		obsServerFrames.Inc(stripe)
+		obsServerBytes.Add(stripe, int64(len(body)+frameHeaderLen))
 		at := s.clk.Since(host.start)
 		var (
 			respT MsgType = MsgAck
@@ -205,11 +214,21 @@ func (s *Server) handleConn(conn net.Conn) {
 			if fail = r.done(); fail == nil {
 				sink.Put(at, wmm.Key{ReqID: p.ReqID, Fn: p.Fn, Data: p.Data},
 					dataflow.Value{Payload: p.Payload, Size: p.Size}, int(p.Consumers))
+				if p.TraceID != 0 {
+					// Sampled request: record the landing under the sender's
+					// trace id so both processes' span dumps correlate.
+					obs.Default().Ring().Observe(p.TraceID, p.ReqID, trace.DataArrived, at, p.Fn, 1)
+				}
 			}
 		case MsgPutBatch:
-			reqScratch, fail = decodePutBatch(body, reqScratch[:0])
+			var traceID uint64
+			reqScratch, traceID, fail = decodePutBatch(body, reqScratch[:0])
 			if fail == nil {
 				sink.PutBatch(at, reqScratch)
+				if traceID != 0 && len(reqScratch) > 0 {
+					first := reqScratch[0].Key
+					obs.Default().Ring().Observe(traceID, first.ReqID, trace.DataArrived, at, first.Fn, len(reqScratch))
+				}
 			}
 			clear(reqScratch) // drop payload references
 			reqScratch = reqScratch[:0]
@@ -305,7 +324,7 @@ func (d *TCPDialer) Dial(ctx context.Context, addr, node string) (Transport, err
 
 // DialTCP connects to a Server at addr, binding to the named hosted node.
 func DialTCP(ctx context.Context, addr, node string, opts DialOptions) (*Client, error) {
-	c := &Client{addr: addr, node: node, opts: opts.withDefaults()}
+	c := &Client{addr: addr, node: node, opts: opts.withDefaults(), stripe: obsStripeSeq.Add(1)}
 	c.clk = c.opts.Clock
 	c.mu.Lock()
 	err := c.connectLocked(ctx)
@@ -313,6 +332,11 @@ func DialTCP(ctx context.Context, addr, node string, opts DialOptions) (*Client,
 	if err != nil {
 		return nil, err
 	}
+	// Expose the EWMA throughput toward this node; a redial to the same
+	// node replaces the gauge, which is the freshness we want.
+	obs.Default().SetGaugeFunc(`transport_observed_bps{node="`+node+`"}`, func() int64 {
+		return int64(c.ObservedBps())
+	})
 	return c, nil
 }
 
@@ -323,10 +347,11 @@ func DialTCP(ctx context.Context, addr, node string, opts DialOptions) (*Client,
 // transparently; a dead one yields a typed wire error the engine's failure
 // detection consumes.
 type Client struct {
-	addr string
-	node string
-	opts DialOptions
-	clk  clock.Clock
+	addr   string
+	node   string
+	opts   DialOptions
+	clk    clock.Clock
+	stripe uint32 // obs instrument lane
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -441,11 +466,15 @@ func (c *Client) rpc(op string, t MsgType, enc func([]byte) []byte, want MsgType
 			// surface it without retrying.
 			return dec(resp)
 		}
+		if errors.Is(err, ErrTimeout) {
+			obsTimeouts.Inc(c.stripe)
+		}
 		c.dropLocked()
 		if fresh || retried || !Unreachable(err) {
 			return err
 		}
 		retried = true
+		obsRetries.Inc(c.stripe)
 	}
 }
 
@@ -460,10 +489,14 @@ func (c *Client) exchangeLocked(op string, t MsgType, body []byte, want MsgType)
 	if _, err := conn.Write(c.wbuf); err != nil {
 		return nil, classify(op, c.addr, err)
 	}
+	obsFramesSent.Inc(c.stripe)
+	obsBytesSent.Add(c.stripe, int64(len(c.wbuf)))
 	rt, resp, err := ReadFrame(conn, &c.rbuf, c.opts.MaxFrame)
 	if err != nil {
 		return nil, classify(op, c.addr, err)
 	}
+	obsFramesRecv.Inc(c.stripe)
+	obsBytesRecv.Add(c.stripe, int64(len(resp)+frameHeaderLen))
 	if rt == MsgErr {
 		m, derr := decodeErrMsg(resp)
 		if derr != nil {
@@ -518,7 +551,7 @@ func (c *Client) ShipBatch(_ context.Context, pace Pacing, reqs []wmm.PutReq) er
 	}
 	start := c.clk.Now()
 	err := c.rpc("ship", MsgPutBatch, func(dst []byte) []byte {
-		return appendPutBatch(dst, reqs)
+		return appendPutBatch(dst, pace.TraceID, reqs)
 	}, MsgAck, nil)
 	if err != nil {
 		return err
@@ -534,6 +567,7 @@ func (c *Client) Land(_ context.Context, pace Pacing, req wmm.PutReq) error {
 	}
 	start := c.clk.Now()
 	err := c.rpc("land", MsgPut, func(dst []byte) []byte {
+		dst = appendUvarint(dst, pace.TraceID)
 		return appendPutReq(dst, req)
 	}, MsgAck, nil)
 	if err != nil {

@@ -32,10 +32,14 @@ const DefaultBatchTasks = 64
 // Bytes == 0 means unpaced (a local pipe, or a replayed shipment whose wire
 // cost was already paid). The destination side paces itself: the Inproc
 // transport charges the node NIC limiter, a socket simply is the NIC.
+// TraceID is the shipment's sampled-request trace context (0 = unsampled);
+// the TCP transport propagates it in the frame so the receiving process
+// records its landing stages under the same id.
 type Pacing struct {
-	Src   *pipe.Limiter
-	Items int
-	Bytes int64
+	Src     *pipe.Limiter
+	Items   int
+	Bytes   int64
+	TraceID uint64
 }
 
 // Transport is one engine's channel to one node's Wait-Match Memory. All

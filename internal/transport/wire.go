@@ -11,15 +11,16 @@ import (
 // Bump it whenever any //wire:struct changes shape — the wiregate repolint
 // analyzer enforces that the structs' fingerprint below matches the
 // version, so a silent wire change cannot ship.
-const FrameVersion = 1
+const FrameVersion = 2
 
 // wireVersions pins the fingerprint of the //wire:struct set at each frame
 // version. The wiregate analyzer recomputes the fingerprint from the struct
 // declarations and fails the build when it differs from the entry for
 // FrameVersion (wire change without a version bump) or when FrameVersion is
-// not the highest pinned version.
+// not the highest pinned version. Older pins stay as protocol history.
 var wireVersions = map[int]string{
 	1: "wire:v1:d157a25e4bf1fe36",
+	2: "wire:v2:fa3cbad6787e3042",
 }
 
 // fingerprintAt exposes the pinned fingerprint for tests.
@@ -58,10 +59,14 @@ type Register struct {
 
 // Put lands one datum in the hosted sink. The replica ordinal of an
 // elastic-routed item rides inside Data (the "#r<ordinal>" qualifier of the
-// sink key), exactly as in the in-process engine.
+// sink key), exactly as in the in-process engine. TraceID (since frame v2)
+// is the sampled-request trace context: 0 means unsampled; a nonzero id
+// asks the receiver to record its landing stages under that id so both
+// processes' span dumps correlate.
 //
 //wire:struct
 type Put struct {
+	TraceID   uint64
 	ReqID     string
 	Fn        string
 	Data      string
@@ -71,11 +76,15 @@ type Put struct {
 }
 
 // PutBatch is the DLU batch header plus its puts: one frame per shipment
-// edge, landed with a single sink multi-put on the remote side.
+// edge, landed with a single sink multi-put on the remote side. A batch is
+// one request's shipment group, so the trace context rides once on the
+// header; the nested puts encode without their per-item TraceID field
+// (they inherit the header's).
 //
 //wire:struct
 type PutBatch struct {
-	Puts []Put
+	TraceID uint64
+	Puts    []Put
 }
 
 // Get fetches (Consume true — proactive-release accounting applies) or
@@ -156,6 +165,13 @@ func AppendRegister(b []byte, m Register) []byte {
 }
 
 func appendPut(b []byte, m Put) []byte {
+	b = appendUvarint(b, m.TraceID)
+	return appendPutItem(b, m)
+}
+
+// appendPutItem encodes the per-datum fields of a Put (everything but the
+// message-level TraceID, which PutBatch hoists onto its header).
+func appendPutItem(b []byte, m Put) []byte {
 	b = appendString(b, m.ReqID)
 	b = appendString(b, m.Fn)
 	b = appendString(b, m.Data)
@@ -164,8 +180,8 @@ func appendPut(b []byte, m Put) []byte {
 	return appendBytes(b, m.Payload)
 }
 
-// appendPutReq encodes one wmm.PutReq directly (the ship path never builds
-// intermediate Put structs).
+// appendPutReq encodes one wmm.PutReq's datum fields directly (the ship
+// path never builds intermediate Put structs).
 func appendPutReq(b []byte, req wmm.PutReq) []byte {
 	payload, _ := req.Val.Payload.([]byte)
 	b = appendString(b, req.Key.ReqID)
@@ -176,7 +192,8 @@ func appendPutReq(b []byte, req wmm.PutReq) []byte {
 	return appendBytes(b, payload)
 }
 
-func appendPutBatch(b []byte, reqs []wmm.PutReq) []byte {
+func appendPutBatch(b []byte, traceID uint64, reqs []wmm.PutReq) []byte {
+	b = appendUvarint(b, traceID)
 	b = appendUvarint(b, uint64(len(reqs)))
 	for i := range reqs {
 		b = appendPutReq(b, reqs[i])
@@ -238,34 +255,42 @@ func DecodeRegister(body []byte) (Register, error) {
 }
 
 func decodePut(r *wireReader) Put {
-	return Put{
-		ReqID:     r.str(),
-		Fn:        r.str(),
-		Data:      r.str(),
-		Consumers: uint32(r.uvarint()),
-		Size:      r.varint(),
-		Payload:   r.bytes(),
-	}
+	p := Put{TraceID: r.uvarint()}
+	decodePutItem(r, &p)
+	return p
 }
 
-// decodePutBatch decodes straight into sink put requests, appending to dst.
-func decodePutBatch(body []byte, dst []wmm.PutReq) ([]wmm.PutReq, error) {
+// decodePutItem fills the per-datum fields of a Put (see appendPutItem).
+func decodePutItem(r *wireReader, p *Put) {
+	p.ReqID = r.str()
+	p.Fn = r.str()
+	p.Data = r.str()
+	p.Consumers = uint32(r.uvarint())
+	p.Size = r.varint()
+	p.Payload = r.bytes()
+}
+
+// decodePutBatch decodes straight into sink put requests, appending to
+// dst, and returns the batch's trace context (0 = unsampled).
+func decodePutBatch(body []byte, dst []wmm.PutReq) ([]wmm.PutReq, uint64, error) {
 	r := wireReader{b: body}
+	traceID := r.uvarint()
 	n := r.uvarint()
 	// A frame cannot hold more puts than bytes; reject a hostile count
 	// before looping.
 	if n > uint64(len(body)) {
-		return dst, fmt.Errorf("%w: put count %d exceeds body", ErrBadFrame, n)
+		return dst, 0, fmt.Errorf("%w: put count %d exceeds body", ErrBadFrame, n)
 	}
 	for i := uint64(0); i < n && !r.bad; i++ {
-		p := decodePut(&r)
+		var p Put
+		decodePutItem(&r, &p)
 		dst = append(dst, wmm.PutReq{
 			Key:       wmm.Key{ReqID: p.ReqID, Fn: p.Fn, Data: p.Data},
 			Val:       dataflow.Value{Payload: p.Payload, Size: p.Size},
 			Consumers: int(p.Consumers),
 		})
 	}
-	return dst, r.done()
+	return dst, traceID, r.done()
 }
 
 func decodeGet(body []byte) (Get, error) {

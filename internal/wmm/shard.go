@@ -100,6 +100,11 @@ type shard struct {
 	stats    Stats
 	memBytes int64
 	memInt   *metrics.Integral // MB·s of this stripe's memory occupancy
+
+	// obsStripe is this shard's lane in the process-wide striped obs
+	// counters (obs.go); set once at NewSink so hot-path updates never
+	// contend across shards.
+	obsStripe uint32
 }
 
 // compactMinHeap is the heap size below which compaction is not worth it.
@@ -267,6 +272,7 @@ func (s *Sink) expireLocked(sh *shard, at time.Duration) int {
 		sh.gcEmpty(e.key)
 		s.adjustMem(sh, at, -e.val.Size)
 		sh.stats.Expirations++
+		obsExpired.Inc(sh.obsStripe)
 		n++
 		if e.remaining <= 0 && !s.opts.RetainInFlight {
 			// Fully consumed (possible only with DisableProactive): no

@@ -152,6 +152,7 @@ func NewSink(opts Options) *Sink {
 	s := &Sink{opts: opts, mask: uint32(size - 1), shards: make([]shard, size)}
 	for i := range s.shards {
 		s.shards[i].init()
+		s.shards[i].obsStripe = uint32(i)
 	}
 	return s
 }
@@ -186,6 +187,7 @@ func (s *Sink) putLocked(sh *shard, at time.Duration, key Key, v dataflow.Value,
 		consumers = 1
 	}
 	sh.stats.Puts++
+	obsPuts.Inc(sh.obsStripe)
 	fnMap := sh.mem[key.ReqID]
 	if fnMap == nil {
 		fnMap = sh.newFnMap()
@@ -289,6 +291,7 @@ func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
 	if dataMap := sh.fnMap(key); dataMap != nil {
 		if e, ok := dataMap[key.Data]; ok {
 			sh.stats.MemHits++
+			obsMemHits.Inc(sh.obsStripe)
 			e.remaining--
 			val := e.val
 			if e.remaining <= 0 && !s.opts.DisableProactive {
@@ -299,12 +302,14 @@ func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
 					// from its original inputs. ReleaseRequest reclaims it.
 					if e.remaining == 0 {
 						sh.stats.Retained++
+						obsRetained.Inc(sh.obsStripe)
 					}
 					return val, Memory, true
 				}
 				delete(dataMap, key.Data)
 				s.adjustMem(sh, at, -val.Size)
 				sh.stats.ProactiveReleases++
+				obsProactive.Inc(sh.obsStripe)
 				sh.gcEmpty(key)
 				if e.hasTTL {
 					// The entry sits in the expiry heap until its TTL fires
@@ -323,12 +328,14 @@ func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
 	if reqDisk := sh.disk[key.ReqID]; reqDisk != nil {
 		if e, ok := reqDisk[key]; ok {
 			sh.stats.DiskHits++
+			obsDiskHits.Inc(sh.obsStripe)
 			e.remaining--
 			val := e.val
 			if e.remaining <= 0 && !s.opts.DisableProactive {
 				if s.opts.RetainInFlight {
 					if e.remaining == 0 {
 						sh.stats.Retained++
+						obsRetained.Inc(sh.obsStripe)
 					}
 					return val, Disk, true
 				}
@@ -343,6 +350,7 @@ func (s *Sink) Get(at time.Duration, key Key) (dataflow.Value, Tier, bool) {
 		}
 	}
 	sh.stats.Misses++
+	obsMisses.Inc(sh.obsStripe)
 	return dataflow.Value{}, Miss, false
 }
 
